@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale is controlled by REPRO_BENCH_SCALE (default 12, ~18k case reads)
+so the full suite regenerates every figure in minutes on a laptop; raise
+it for better-separated curves. Workbenches are session-cached through
+the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, workbench_for
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
+
+
+def settings(anomaly_percent: float = 10.0) -> ExperimentSettings:
+    return ExperimentSettings(scale=BENCH_SCALE,
+                              anomaly_percent=anomaly_percent)
+
+
+@pytest.fixture(scope="session")
+def db10_reader_only():
+    """db-10 with only the reader rule (the Figure 7/8 setup)."""
+    return workbench_for(settings(10.0), rule_names=("reader",))
+
+
+@pytest.fixture(scope="session")
+def db10_all_rules():
+    """db-10 with all five rules (Figure 9 a/b endpoint)."""
+    return workbench_for(settings(10.0))
+
+
+def once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing.
+
+    The measured operations take hundreds of milliseconds on realistic
+    scales; multiple rounds would only slow the suite without improving
+    the comparison the figures need.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

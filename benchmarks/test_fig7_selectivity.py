@@ -1,0 +1,56 @@
+"""Figure 7 (a) and (d): q1/q2 elapsed time vs rtime selectivity.
+
+One benchmark per (query, selectivity, variant). Shape assertions
+(deferred cleansing ≪ naive) live in ``test_fig7_shape``; compare the
+saved timings across variants with ``--benchmark-group-by=group``.
+"""
+
+import pytest
+from conftest import once
+
+SELECTIVITIES = (0.01, 0.10, 0.40)
+VARIANTS = {
+    "q": None,
+    "q_e": "expanded",
+    "q_j": "joinback",
+    "q_n": "naive",
+}
+
+
+def _run(bench, sql, strategy):
+    if strategy is None:
+        return bench.database.execute(sql)
+    return bench.engine.execute(sql, strategies={strategy})
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig7(benchmark, db10_reader_only, query_name, variant, selectivity):
+    bench = db10_reader_only
+    sql = getattr(bench, query_name)(selectivity)
+    benchmark.group = f"fig7-{query_name}-sel{int(selectivity * 100)}"
+    result = once(benchmark, lambda: _run(bench, sql,
+                                          VARIANTS[variant]))
+    assert result is not None
+
+
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig7_shape(benchmark, db10_reader_only, query_name):
+    """The paper's headline: both rewrites beat naive decisively."""
+    import time
+
+    bench = db10_reader_only
+    sql = getattr(bench, query_name)(0.10)
+
+    def measure(strategy):
+        start = time.perf_counter()
+        bench.engine.execute(sql, strategies={strategy})
+        return time.perf_counter() - start
+
+    def shape():
+        return measure("expanded"), measure("joinback"), measure("naive")
+
+    expanded, joinback, naive = once(benchmark, shape)
+    assert expanded < naive, "expanded rewrite must beat naive"
+    assert joinback < naive, "join-back rewrite must beat naive"

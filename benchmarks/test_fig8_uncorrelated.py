@@ -1,0 +1,71 @@
+"""Figure 8: q2' — the EPC-uncorrelated predicate kills join-back's edge.
+
+The step-type predicate selects many reads but barely shrinks the EPC
+set, so the join-back rewrite loses its main advantage and lands in the
+same ballpark as the expanded rewrite (the paper's "q2'_j is no longer
+much better than q2'_e").
+"""
+
+import time
+
+import pytest
+from conftest import once
+
+SELECTIVITIES = (0.10, 0.40)
+VARIANTS = {"q_e": "expanded", "q_j": "joinback", "q_n": "naive"}
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_fig8(benchmark, db10_reader_only, variant, selectivity):
+    bench = db10_reader_only
+    sql = bench.q2_prime(selectivity)
+    benchmark.group = f"fig8-q2p-sel{int(selectivity * 100)}"
+    once(benchmark, lambda: bench.engine.execute(
+        sql, strategies={VARIANTS[variant]}))
+
+
+def test_fig8_epc_reduction_contrast(benchmark, db10_reader_only):
+    """The mechanism behind Figure 8: the site predicate shrinks the
+    relevant EPC set, the type predicate does not."""
+    bench = db10_reader_only
+    db = bench.database
+
+    def distinct_epcs(sql):
+        return db.execute(sql).scalar()
+
+    def contrast():
+        total = distinct_epcs("select count(distinct epc) from caser")
+        by_site = distinct_epcs(
+            "select count(distinct c.epc) from caser c, locs l "
+            "where c.biz_loc = l.gln and "
+            f"l.site = '{bench.default_site()}'")
+        by_type = distinct_epcs(
+            "select count(distinct c.epc) from caser c, steps s "
+            "where c.biz_step = s.biz_step and s.type = 'type_03'")
+        return total, by_site, by_type
+
+    total, by_site, by_type = once(benchmark, contrast)
+    assert by_site < 0.5 * total, "site predicate must prune EPCs"
+    assert by_type > 0.9 * total, "type predicate must not prune EPCs"
+
+
+def test_fig8_joinback_loses_its_edge(benchmark, db10_reader_only):
+    """q2'_j / q2'_e must be much closer than q2_j / q2_e at 40%."""
+    bench = db10_reader_only
+
+    def measure(sql, strategy):
+        start = time.perf_counter()
+        bench.engine.execute(sql, strategies={strategy})
+        return time.perf_counter() - start
+
+    def ratios():
+        q2 = bench.q2(0.40)
+        q2p = bench.q2_prime(0.40)
+        correlated = measure(q2, "joinback") / measure(q2, "expanded")
+        uncorrelated = measure(q2p, "joinback") / measure(q2p, "expanded")
+        return correlated, uncorrelated
+
+    correlated, uncorrelated = once(benchmark, ratios)
+    # Join-back helps q2 (ratio < 1) and helps q2' much less.
+    assert uncorrelated > correlated

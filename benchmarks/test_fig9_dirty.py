@@ -1,0 +1,55 @@
+"""Figure 9 (c) and (d): elapsed time vs anomaly percentage (db-10..40).
+
+First three rules, rtime selectivity 10%. The paper's observation: the
+rewrites' cost grows only slightly with more anomalies and tracks the
+trend of the original query.
+"""
+
+import pytest
+from conftest import once, settings
+
+from repro.experiments.common import workbench_for
+
+LEVELS = (10.0, 20.0, 30.0, 40.0)
+RULES = ("reader", "duplicate", "replacing")
+SELECTIVITY = 0.10
+
+
+def bench_for(level):
+    return workbench_for(settings(level), rule_names=RULES)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("variant", ["q", "q_e", "q_j"])
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig9_dirty(benchmark, query_name, variant, level):
+    bench = bench_for(level)
+    sql = getattr(bench, query_name)(SELECTIVITY)
+    benchmark.group = f"fig9-dirty-{query_name}-{variant}"
+    if variant == "q":
+        once(benchmark, lambda: bench.database.execute(sql))
+        return
+    strategy = "expanded" if variant == "q_e" else "joinback"
+    once(benchmark, lambda: bench.engine.execute(sql,
+                                                 strategies={strategy}))
+
+
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig9_dirty_growth_is_mild(benchmark, query_name):
+    """Quadrupling the anomaly rate must not blow up the rewrites."""
+    import time
+
+    def measure(level):
+        bench = bench_for(level)
+        sql = getattr(bench, query_name)(SELECTIVITY)
+        start = time.perf_counter()
+        bench.engine.execute(sql, strategies={"joinback"})
+        return time.perf_counter() - start
+
+    def growth():
+        return measure(10.0), measure(40.0)
+
+    low, high = once(benchmark, growth)
+    assert high < 4.0 * low, (
+        "join-back at 40% anomalies should grow mildly, not linearly "
+        "with the anomaly budget")

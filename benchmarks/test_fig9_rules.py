@@ -1,0 +1,76 @@
+"""Figure 9 (a) and (b): elapsed time vs number of rules (1..5).
+
+Rules are added in Table 1 order; the expanded rewrite exists only for
+the first three (the cycle rule's unbounded context ends it), join-back
+for all five. The missing rule's derived union input adds the largest
+increment, as in the paper.
+"""
+
+import pytest
+from conftest import once, settings
+
+from repro.errors import RewriteError
+from repro.experiments.common import workbench_for
+from repro.workloads import STANDARD_RULE_ORDER
+
+SELECTIVITY = 0.10
+
+
+def bench_for(rule_count):
+    return workbench_for(settings(10.0),
+                         rule_names=STANDARD_RULE_ORDER[:rule_count])
+
+
+@pytest.mark.parametrize("rule_count", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("variant", ["q_e", "q_j"])
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig9_rules(benchmark, query_name, variant, rule_count):
+    bench = bench_for(rule_count)
+    sql = getattr(bench, query_name)(SELECTIVITY)
+    strategy = "expanded" if variant == "q_e" else "joinback"
+    benchmark.group = f"fig9-{query_name}-{variant}"
+    if variant == "q_e" and rule_count > 3:
+        with pytest.raises(RewriteError):
+            bench.engine.execute(sql, strategies={strategy})
+        pytest.skip("expanded rewrite infeasible beyond 3 rules (paper)")
+    once(benchmark, lambda: bench.engine.execute(sql,
+                                                 strategies={strategy}))
+
+
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def test_fig9_feasibility_boundary(benchmark, query_name):
+    """Expanded exists exactly for rule prefixes of length 1..3."""
+    def feasibility():
+        flags = []
+        for rule_count in range(1, 6):
+            bench = bench_for(rule_count)
+            sql = getattr(bench, query_name)(SELECTIVITY)
+            flags.append(bench.engine.rewrite(sql).analysis.feasible)
+        return flags
+
+    flags = once(benchmark, feasibility)
+    assert flags == [True, True, True, False, False]
+
+
+def test_fig9_shared_sort_increment_small(benchmark):
+    """Rules 1->3 share one ordering requirement: the third rule must
+    cost far less than the first (no extra sort, only extra scalar
+    aggregates)."""
+    import time
+
+    def measure(rule_count):
+        bench = bench_for(rule_count)
+        sql = bench.q1(SELECTIVITY)
+        start = time.perf_counter()
+        bench.engine.execute(sql, strategies={"joinback"})
+        return time.perf_counter() - start
+
+    def increments():
+        base = measure(1)
+        three = measure(3)
+        five = measure(5)
+        return base, three, five
+
+    base, three, five = once(benchmark, increments)
+    assert three < 3.0 * base, "rules 2-3 must piggyback on one sort"
+    assert five > three, "the missing rule adds the most overhead"

@@ -1,0 +1,79 @@
+"""Pharmaceutical e-pedigree: why cleansing must be deferred.
+
+The paper's motivating scenario (§1): e-pedigree laws require preserving
+the raw tracking records, which forbids up-front (eager) correction of
+the data. Deferred cleansing keeps the stored reads untouched and
+compensates at query time.
+
+This example generates a supply chain where case tags are sometimes
+missed (the "missing read" anomaly), then reconstructs a complete
+chain of custody for individual cases by applying the paper's missing
+rule (Example 5): a missed case read at a location is compensated from
+the pallet's read there, provided the case is later seen together with
+the pallet again.
+
+Run:  python examples/pharma_epedigree.py
+"""
+
+from repro.datagen import GeneratorConfig, RFIDGen, load_into_database
+from repro.rewrite import DeferredCleansingEngine
+from repro.workloads.rules import MISSING_VIEW, case_with_pallet_view, rule_texts
+from repro.sqlts import RuleRegistry
+
+
+def main() -> None:
+    config = GeneratorConfig(scale=8, anomaly_percent=25.0)
+    print(f"generating pedigree data (scale {config.scale}, "
+          f"{config.anomaly_percent:.0f}% anomalies)...")
+    data = RFIDGen(config).generate()
+    db = load_into_database(data)
+
+    # Define ONLY the missing rule: this application trusts the raw
+    # reads but must fill gaps in per-case custody chains.
+    registry = RuleRegistry(db)
+    registry.define_view(MISSING_VIEW, case_with_pallet_view())
+    for rule_text in rule_texts(data)["missing"]:
+        registry.define(rule_text)
+    engine = DeferredCleansingEngine(db, registry)
+
+    # Raw data is preserved: the rules never touch the stored table.
+    raw_count = len(db.table("caser"))
+
+    # A pedigree audit: per-case number of custody events.
+    audit_sql = ("select epc, count(*) as custody_events, "
+                 "count(distinct biz_loc) as locations "
+                 "from caser group by epc")
+    raw = {row[0]: row[1] for row in db.execute(audit_sql)}
+    cleansed = {row[0]: row[1]
+                for row in engine.execute(audit_sql,
+                                          strategies={"naive"})}
+
+    assert len(db.table("caser")) == raw_count, "raw data must be intact"
+
+    compensated = {epc: (raw.get(epc, 0), events)
+                   for epc, events in cleansed.items()
+                   if events > raw.get(epc, 0)}
+    print(f"\n{len(raw)} cases audited; missing reads were compensated "
+          f"for {len(compensated)} of them from pallet-level reads")
+    for epc, (before, after) in list(compensated.items())[:5]:
+        print(f"  {epc[-12:]}: {before} raw custody events "
+              f"-> {after} after compensation")
+
+    # Drill into one compensated case: show its full custody chain.
+    if compensated:
+        case = next(iter(compensated))
+        chain = engine.execute(
+            f"select rtime, biz_loc, reader from caser "
+            f"where epc = '{case}' order by rtime asc",
+            strategies={"naive"})
+        print(f"\nreconstructed chain of custody for ...{case[-12:]}: "
+              f"{len(chain)} events")
+        for rtime, biz_loc, reader in chain.rows[:8]:
+            print(f"  t={rtime}  location={biz_loc}  reader={reader}")
+        print("  ...")
+    print("\nthe stored reads table was never modified: "
+          f"{len(db.table('caser'))} raw rows remain")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — a reproduction of "A Deferred Cleansing Method for RFID Data
+Analytics" (Rao, Doraiswamy, Thakkar, Colby — VLDB 2006).
+
+Public entry points:
+
+* :mod:`repro.minidb` — the relational engine (SQL/OLAP substrate);
+* :mod:`repro.sqlts` — the extended SQL-TS cleansing-rule language;
+* :mod:`repro.rewrite` — the deferred-cleansing rewrite engine;
+* :mod:`repro.datagen` — RFIDGen, the supply-chain data generator;
+* :mod:`repro.workloads` — the paper's benchmark queries and rules;
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

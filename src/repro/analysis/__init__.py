@@ -1,0 +1,7 @@
+"""Shared expression-analysis utilities (linear forms, conjunctions)."""
+
+from repro.analysis.conjunction import atoms_of, find_conjoined_group
+from repro.analysis.linear import LinearForm, linearize, normalize_comparison
+
+__all__ = ["LinearForm", "linearize", "normalize_comparison",
+           "atoms_of", "find_conjoined_group"]

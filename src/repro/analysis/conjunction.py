@@ -1,0 +1,74 @@
+"""Conjunction-structure analysis of Boolean expression trees.
+
+Both the rule compiler (set-reference flags) and the rewrite engine
+(correlation-conjunct extraction) need to know whether a set of atoms
+acts as one conjunction inside a larger condition: their lowest common
+ancestor must reach each of them through AND nodes only. The group may
+sit inside one OR branch — rows can only influence the condition through
+that branch — but must not be split across OR branches.
+"""
+
+from __future__ import annotations
+
+from repro.minidb.expressions import BinaryOp, Expr
+
+__all__ = ["atoms_of", "find_conjoined_group"]
+
+
+def atoms_of(tree: Expr) -> list[Expr]:
+    """The leaf predicates of *tree* (subtrees that are not AND/OR)."""
+    out: list[Expr] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, BinaryOp) and node.op in ("and", "or"):
+            visit(node.left)
+            visit(node.right)
+        else:
+            out.append(node)
+
+    visit(tree)
+    return out
+
+
+def find_conjoined_group(condition: Expr, atom_ids: set[int]) -> Expr | None:
+    """The LCA of *atom_ids* if every atom is AND-reachable from it.
+
+    Atoms are identified by ``id()`` so duplicated structure inside the
+    condition cannot be conflated. Returns the LCA node, or None when
+    any atom sits below an OR within the LCA's subtree.
+    """
+
+    def count(node: Expr) -> int:
+        if id(node) in atom_ids:
+            return 1
+        if isinstance(node, BinaryOp) and node.op in ("and", "or"):
+            return count(node.left) + count(node.right)
+        return 0
+
+    total = count(condition)
+    if total == 0:
+        return None
+    node: Expr = condition
+    while isinstance(node, BinaryOp) and node.op in ("and", "or") \
+            and id(node) not in atom_ids:
+        if count(node.left) == total:
+            node = node.left
+        elif count(node.right) == total:
+            node = node.right
+        else:
+            break
+
+    def and_reachable(candidate: Expr) -> bool:
+        if id(candidate) in atom_ids:
+            return True
+        if isinstance(candidate, BinaryOp):
+            if candidate.op == "and":
+                return and_reachable(candidate.left) \
+                    and and_reachable(candidate.right)
+            if candidate.op == "or":
+                return count(candidate) == 0
+        return True
+
+    if not and_reachable(node):
+        return None
+    return node

@@ -1,0 +1,127 @@
+"""Linear forms over column references.
+
+Both the rule compiler and the rewrite engine need to recognize
+predicates of the shape ``B.rtime - A.rtime < 5 mins`` — i.e. *linear
+comparisons* over column references — to derive window frames and to run
+transitivity analysis over difference constraints. This module
+normalizes scalar expressions into::
+
+    sum(coefficient_i * column_i) + constant
+
+and comparisons into ``LinearForm <op> 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minidb.expressions import BinaryOp, ColumnRef, Expr, Literal, UnaryOp
+
+__all__ = ["LinearForm", "linearize", "normalize_comparison"]
+
+
+@dataclass
+class LinearForm:
+    """``sum(coeffs[ref] * ref) + constant`` with exact rational-ish math.
+
+    Coefficients are Python ints/floats; column references are compared
+    structurally (qualifier + name).
+    """
+
+    coeffs: dict[ColumnRef, float] = field(default_factory=dict)
+    constant: float = 0.0
+
+    def add(self, other: "LinearForm", sign: float = 1.0) -> "LinearForm":
+        merged = dict(self.coeffs)
+        for ref, coeff in other.coeffs.items():
+            merged[ref] = merged.get(ref, 0.0) + sign * coeff
+        result = LinearForm(
+            {ref: coeff for ref, coeff in merged.items() if coeff != 0},
+            self.constant + sign * other.constant)
+        return result
+
+    def scale(self, factor: float) -> "LinearForm":
+        return LinearForm(
+            {ref: coeff * factor for ref, coeff in self.coeffs.items()},
+            self.constant * factor)
+
+    def negate(self) -> "LinearForm":
+        return self.scale(-1.0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def references(self) -> set[ColumnRef]:
+        return set(self.coeffs)
+
+    def single_reference(self) -> ColumnRef | None:
+        """The sole referenced column if the form is ``1*ref + c``."""
+        if len(self.coeffs) != 1:
+            return None
+        ref, coeff = next(iter(self.coeffs.items()))
+        return ref if coeff == 1 else None
+
+
+def linearize(expr: Expr) -> LinearForm | None:
+    """Normalize *expr* to a :class:`LinearForm`, or None if non-linear."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, (int, float)) \
+                and not isinstance(expr.value, bool):
+            return LinearForm(constant=expr.value)
+        return None
+    if isinstance(expr, ColumnRef):
+        return LinearForm(coeffs={expr: 1.0})
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = linearize(expr.operand)
+        return inner.negate() if inner is not None else None
+    if isinstance(expr, BinaryOp):
+        if expr.op == "+":
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None:
+                return None
+            return left.add(right)
+        if expr.op == "-":
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None:
+                return None
+            return left.add(right, sign=-1.0)
+        if expr.op == "*":
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None:
+                return None
+            if left.is_constant:
+                return right.scale(left.constant)
+            if right.is_constant:
+                return left.scale(right.constant)
+            return None
+        if expr.op == "/":
+            left = linearize(expr.left)
+            right = linearize(expr.right)
+            if left is None or right is None or not right.is_constant \
+                    or right.constant == 0:
+                return None
+            return left.scale(1.0 / right.constant)
+    return None
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def normalize_comparison(atom: Expr) -> tuple[LinearForm, str] | None:
+    """Normalize a comparison atom to ``form <op> 0``.
+
+    Returns ``(form, op)`` such that the atom is equivalent to
+    ``form op 0``, or None when the atom is not a linear comparison.
+    """
+    if not isinstance(atom, BinaryOp) \
+            or atom.op not in ("<", "<=", ">", ">=", "=", "!="):
+        return None
+    left = linearize(atom.left)
+    right = linearize(atom.right)
+    if left is None or right is None:
+        return None
+    return left.add(right, sign=-1.0), atom.op

@@ -1,0 +1,14 @@
+"""RFIDGen — the paper's synthetic supply-chain generator (§6.1).
+
+Generates the seven-table retailer schema of Figure 5 (caseR, palletR,
+parent, EPC_info, product, locs, steps), simulates shipments flowing
+DC -> warehouse -> store, and injects the five anomaly classes by
+reversing the cleansing rules' actions.
+"""
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import GeneratedData, RFIDGen
+from repro.datagen.loader import load_into_database
+
+__all__ = ["GeneratorConfig", "GeneratedData", "RFIDGen",
+           "load_into_database"]

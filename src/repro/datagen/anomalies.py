@@ -1,0 +1,185 @@
+"""Anomaly injection: the reverse of the five cleansing rules' actions
+(§6.1: "We add five types of anomalies described in Section 4 by
+reversing the action of the cleansing rules").
+
+Anomalies affect case reads only — pallets are read reliably. Given an
+anomaly percentage D, ``round(D% * clean case reads)`` anomalies are
+injected, split evenly across the five classes:
+
+==========  ==============================================================
+duplicate   insert a copy of a read at the same location within t1
+reader      turn a read into a 'readerX' destination read and insert a
+            false transport read shortly before it at another location
+replacing   insert a cross read at loc2 followed by the business-flow
+            read at locA within t3 (cleansing re-locates it to loc1)
+cycle       insert a Y, X location bounce after a read at X (cleansing
+            deletes the middle Y read)
+missing     delete a case read that has a later read together with its
+            pallet (so the missing rule can compensate from pallet data)
+==========  ==============================================================
+
+Note the paper's remark that missing-read anomalies *reduce* the raw
+data volume while the insert-style anomalies grow it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datagen.generator import GeneratedData
+
+__all__ = ["AnomalyCounts", "AnomalyInjector"]
+
+ANOMALY_KINDS = ("duplicate", "reader", "replacing", "cycle", "missing")
+
+
+@dataclass
+class AnomalyCounts:
+    """Bookkeeping of injected anomalies."""
+
+    clean_case_reads: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_kind.values())
+
+
+class AnomalyInjector:
+    """Mutates a :class:`GeneratedData`'s case reads in place."""
+
+    def __init__(self, data: "GeneratedData", rng: random.Random) -> None:
+        self.data = data
+        self.rng = rng
+        self.config = data.config
+        # Case reads grouped into per-EPC sequences sorted by rtime.
+        self._sequences: dict[str, list[list]] = {}
+        for row in data.case_reads:
+            self._sequences.setdefault(row[0], []).append(list(row))
+        for sequence in self._sequences.values():
+            sequence.sort(key=lambda row: row[1])
+        self._epcs = sorted(self._sequences)
+        self._glns = sorted(row[0] for row in data.location_rows)
+        # Reader ids observed per location in the generated reads.
+        self._reader_of: dict[str, str] = {}
+        for read_rows in (data.case_reads, data.pallet_reads):
+            for row in read_rows:
+                self._reader_of.setdefault(row[3], row[2])
+        self._steps = [name for name, _ in data.step_rows]
+
+    # ------------------------------------------------------------------
+
+    def inject(self) -> AnomalyCounts:
+        total = round(self.config.anomaly_percent / 100.0
+                      * len(self.data.case_reads))
+        share, remainder = divmod(total, len(ANOMALY_KINDS))
+        injectors = {
+            "duplicate": self._inject_duplicate,
+            "reader": self._inject_reader,
+            "replacing": self._inject_replacing,
+            "cycle": self._inject_cycle,
+            "missing": self._inject_missing,
+        }
+        counts = self.data.anomalies
+        for position, kind in enumerate(ANOMALY_KINDS):
+            budget = share + (1 if position < remainder else 0)
+            injected = 0
+            for _ in range(budget):
+                injected += injectors[kind]()
+            counts.by_kind[kind] = injected
+        self._rebuild()
+        return counts
+
+    def _rebuild(self) -> None:
+        rows: list[tuple] = []
+        for epc in self._epcs:
+            rows.extend(tuple(row) for row in self._sequences[epc])
+        self.data.case_reads = rows
+
+    # ------------------------------------------------------------------
+
+    def _random_sequence(self) -> list[list]:
+        return self._sequences[self.rng.choice(self._epcs)]
+
+    def _insert(self, sequence: list[list], row: list) -> None:
+        position = bisect.bisect_left([r[1] for r in sequence], row[1])
+        sequence.insert(position, row)
+
+    def _random_other_gln(self, gln: str) -> str:
+        while True:
+            candidate = self.rng.choice(self._glns)
+            if candidate != gln:
+                return candidate
+
+    def _reader_for(self, gln: str) -> str:
+        return self._reader_of.get(gln, f"reader_{gln}")
+
+    def _random_step(self) -> str:
+        return self.rng.choice(self._steps)
+
+    # ------------------------------------------------------------------
+
+    def _inject_duplicate(self) -> int:
+        sequence = self._random_sequence()
+        source = self.rng.choice(sequence)
+        offset = self.rng.randrange(1, self.config.t1_duplicate)
+        copy = list(source)
+        copy[1] = source[1] + offset
+        self._insert(sequence, copy)
+        return 1
+
+    def _inject_reader(self) -> int:
+        sequence = self._random_sequence()
+        destination = self.rng.choice(sequence)
+        destination[2] = self.data.reader_x
+        gln = self._random_other_gln(destination[3])
+        false_time = destination[1] - self.rng.randrange(
+            1, self.config.t2_reader)
+        false_row = [destination[0], false_time, self._reader_for(gln), gln,
+                     self._random_step()]
+        self._insert(sequence, false_row)
+        return 1
+
+    def _inject_replacing(self) -> int:
+        sequence = self._random_sequence()
+        anchor = self.rng.choice(sequence)
+        base_time = anchor[1] + self.rng.randrange(
+            self.config.t1_duplicate + 60, self.config.min_read_latency // 2)
+        cross = [anchor[0], base_time, self._reader_for(self.data.loc2),
+                 self.data.loc2, self._random_step()]
+        follow_time = base_time + self.rng.randrange(
+            1, self.config.t3_replacing)
+        follow = [anchor[0], follow_time, self._reader_for(self.data.loc_a),
+                  self.data.loc_a, self._random_step()]
+        self._insert(sequence, cross)
+        self._insert(sequence, follow)
+        return 1
+
+    def _inject_cycle(self) -> int:
+        sequence = self._random_sequence()
+        anchor = self.rng.choice(sequence)
+        bounce_gln = self._random_other_gln(anchor[3])
+        gap = self.config.t1_duplicate + 60
+        first_time = anchor[1] + self.rng.randrange(gap, 3 * gap)
+        second_time = first_time + self.rng.randrange(gap, 3 * gap)
+        bounce = [anchor[0], first_time, self._reader_for(bounce_gln),
+                  bounce_gln, self._random_step()]
+        back = [anchor[0], second_time, self._reader_for(anchor[3]),
+                anchor[3], self._random_step()]
+        self._insert(sequence, bounce)
+        self._insert(sequence, back)
+        return 1
+
+    def _inject_missing(self) -> int:
+        sequence = self._random_sequence()
+        if len(sequence) < 2:
+            return 0
+        # Keep the final read so a later together-read exists and the
+        # missing rule can compensate.
+        position = self.rng.randrange(0, len(sequence) - 1)
+        del sequence[position]
+        return 1

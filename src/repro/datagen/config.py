@@ -1,0 +1,90 @@
+"""Configuration for RFIDGen.
+
+Defaults follow §6.1 of the paper, with one documented adjustment: the
+paper says "1,000 retail stores" yet also "all 13,000 distinct
+locations" (= (5 + 25 + 100) sites x 100 locations); we default to 100
+stores so the location count matches the stated 13,000, and both knobs
+are configurable.
+
+The paper's scale factor ``s`` is the number of pallet EPCs; a given
+``s`` yields approximately ``s*30`` pallet reads, ``s*50`` cases and
+``s*1500`` case reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataGenError
+from repro.minidb.types import DAY, HOUR, MINUTE
+
+__all__ = ["GeneratorConfig"]
+
+
+@dataclass
+class GeneratorConfig:
+    """All RFIDGen knobs; defaults are the paper's settings (scaled)."""
+
+    #: Scale factor s = number of pallet EPCs.
+    scale: int = 20
+    #: Random seed (generation is fully deterministic given the config).
+    seed: int = 20060912  # VLDB'06 started September 12, 2006
+
+    # -- topology --------------------------------------------------------
+    distribution_centers: int = 5
+    warehouses: int = 25
+    stores: int = 100
+    locations_per_site: int = 100
+
+    # -- reference data ----------------------------------------------------
+    products: int = 1000
+    manufacturers: int = 50
+    business_steps: int = 100
+    step_types: int = 10
+
+    # -- shipment simulation ---------------------------------------------
+    #: Reads recorded per site a shipment passes through.
+    reads_per_site: int = 10
+    min_cases_per_pallet: int = 20
+    max_cases_per_pallet: int = 80
+    #: First-read times are drawn from a window this many days long.
+    time_window_days: int = 5 * 365
+    #: Consecutive reads of one shipment are 1..36 hours apart.
+    min_read_latency: int = 1 * HOUR
+    max_read_latency: int = 36 * HOUR
+    #: A case is read within this many seconds of its pallet.
+    pallet_case_gap: int = 10 * MINUTE
+
+    # -- anomalies -------------------------------------------------------
+    #: Percentage of case reads turned into / affected by anomalies.
+    anomaly_percent: float = 0.0
+    #: Rule time constants (t1, t2, t3 of §4.3), in seconds.
+    t1_duplicate: int = 5 * MINUTE
+    t2_reader: int = 10 * MINUTE
+    t3_replacing: int = 20 * MINUTE
+
+    #: Epoch of the simulation window (2001-01-01, five years before the
+    #: paper's publication).
+    window_start: int = 978_307_200
+
+    def validate(self) -> None:
+        if self.scale <= 0:
+            raise DataGenError("scale must be positive")
+        if self.min_cases_per_pallet > self.max_cases_per_pallet:
+            raise DataGenError("min_cases_per_pallet exceeds max")
+        if not 0.0 <= self.anomaly_percent <= 100.0:
+            raise DataGenError("anomaly_percent must be within [0, 100]")
+        if self.reads_per_site < 1:
+            raise DataGenError("reads_per_site must be at least 1")
+        if self.min_read_latency <= self.pallet_case_gap:
+            raise DataGenError(
+                "min_read_latency must exceed pallet_case_gap so reads at "
+                "different sites cannot interleave")
+
+    @property
+    def window_seconds(self) -> int:
+        return self.time_window_days * DAY
+
+    @property
+    def sites_total(self) -> int:
+        return self.distribution_centers + self.warehouses + self.stores

@@ -1,0 +1,40 @@
+"""EPC identifier generation.
+
+The paper identifies every shipment with a 96-bit EPC stored as a
+50-byte varchar. We render SGTIN-96-style URNs: a fixed prefix, a
+company/manufacturer segment, an item segment, and a serial, zero-padded
+so every identifier is exactly 50 characters. Case and pallet namespaces
+are disjoint, and identifiers are never reused (the paper's assumption).
+"""
+
+from __future__ import annotations
+
+__all__ = ["case_epc", "pallet_epc", "GLN_LENGTH", "location_gln"]
+
+#: Global Location Numbers are 13 characters (§6.1).
+GLN_LENGTH = 13
+
+_CASE_PREFIX = "urn:epc:id:sgtin:c."
+_PALLET_PREFIX = "urn:epc:id:sscc:p.."
+
+
+def _pad(prefix: str, serial: int) -> str:
+    body = f"{prefix}{serial:d}"
+    if len(body) > 50:
+        raise ValueError(f"EPC serial {serial} overflows 50 characters")
+    return prefix + str(serial).zfill(50 - len(prefix))
+
+
+def case_epc(serial: int) -> str:
+    """The 50-character EPC of case number *serial*."""
+    return _pad(_CASE_PREFIX, serial)
+
+
+def pallet_epc(serial: int) -> str:
+    """The 50-character EPC of pallet number *serial*."""
+    return _pad(_PALLET_PREFIX, serial)
+
+
+def location_gln(site_index: int, location_index: int) -> str:
+    """A 13-character GLN unique per (site, location)."""
+    return f"{site_index:06d}{location_index:06d}0"[:GLN_LENGTH]

@@ -1,0 +1,86 @@
+"""Loading RFIDGen output into a minidb database with the paper's
+physical design (§6.1): every column of caseR and palletR indexed except
+``reader``; ``parent`` indexed on ``child_epc``; other tables on their
+primary keys, plus ``locs.site`` and ``steps.type``.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.generator import GeneratedData
+from repro.minidb.engine import Database
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import SqlType
+
+__all__ = ["READS_SCHEMA", "load_into_database"]
+
+#: The reads-table schema of Figure 2.
+READS_SCHEMA = TableSchema.of(
+    ("epc", SqlType.VARCHAR),
+    ("rtime", SqlType.TIMESTAMP),
+    ("reader", SqlType.VARCHAR),
+    ("biz_loc", SqlType.VARCHAR),
+    ("biz_step", SqlType.VARCHAR),
+)
+
+PARENT_SCHEMA = TableSchema.of(
+    ("child_epc", SqlType.VARCHAR),
+    ("parent_epc", SqlType.VARCHAR),
+)
+
+EPC_INFO_SCHEMA = TableSchema.of(
+    ("epc", SqlType.VARCHAR),
+    ("product", SqlType.VARCHAR),
+    ("lot_number", SqlType.VARCHAR),
+    ("manufacture_date", SqlType.TIMESTAMP),
+    ("expiry_date", SqlType.TIMESTAMP),
+)
+
+PRODUCT_SCHEMA = TableSchema.of(
+    ("product", SqlType.VARCHAR),
+    ("manufacturer", SqlType.VARCHAR),
+)
+
+LOCS_SCHEMA = TableSchema.of(
+    ("gln", SqlType.VARCHAR),
+    ("site", SqlType.VARCHAR),
+    ("loc_desc", SqlType.VARCHAR),
+)
+
+STEPS_SCHEMA = TableSchema.of(
+    ("biz_step", SqlType.VARCHAR),
+    ("type", SqlType.VARCHAR),
+)
+
+
+def load_into_database(data: GeneratedData,
+                       database: Database | None = None) -> Database:
+    """Create the seven tables, load *data*, build indexes, run stats."""
+    db = database or Database()
+    db.create_table("caser", READS_SCHEMA)
+    db.create_table("palletr", READS_SCHEMA)
+    db.create_table("parent", PARENT_SCHEMA)
+    db.create_table("epc_info", EPC_INFO_SCHEMA)
+    db.create_table("product", PRODUCT_SCHEMA)
+    db.create_table("locs", LOCS_SCHEMA)
+    db.create_table("steps", STEPS_SCHEMA)
+
+    db.load("caser", data.case_reads)
+    db.load("palletr", data.pallet_reads)
+    db.load("parent", data.parent_rows)
+    db.load("epc_info", data.epc_info_rows)
+    db.load("product", data.product_rows)
+    db.load("locs", data.location_rows)
+    db.load("steps", data.step_rows)
+
+    for reads_table in ("caser", "palletr"):
+        for column in ("epc", "rtime", "biz_loc", "biz_step"):
+            db.create_index(reads_table, column)
+    db.create_index("parent", "child_epc")
+    db.create_index("epc_info", "epc")
+    db.create_index("product", "product")
+    db.create_index("locs", "gln")
+    db.create_index("locs", "site")
+    db.create_index("steps", "biz_step")
+    db.create_index("steps", "type")
+    db.analyze()
+    return db

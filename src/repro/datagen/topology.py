@@ -1,0 +1,90 @@
+"""The retailer W's distribution topology (§6.1).
+
+Goods flow through three levels: a distribution center, a warehouse, and
+a retail store. Each store is assigned to one warehouse, each warehouse
+to one DC. Every site has ``locations_per_site`` locations, each with an
+RFID reader.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.epc import location_gln
+
+__all__ = ["Site", "Location", "Topology"]
+
+
+@dataclass(frozen=True)
+class Location:
+    """One read point: a GLN, its reader id, and its owning site."""
+
+    gln: str
+    reader: str
+    site_name: str
+    description: str
+
+
+@dataclass
+class Site:
+    """A DC, warehouse, or store with its locations."""
+
+    name: str
+    kind: str  # "dc" | "warehouse" | "store"
+    index: int
+    locations: list[Location] = field(default_factory=list)
+
+
+class Topology:
+    """The fixed site graph for one generated dataset."""
+
+    def __init__(self, config: GeneratorConfig, rng: random.Random) -> None:
+        self.config = config
+        self.sites: list[Site] = []
+        self.dcs: list[Site] = []
+        self.warehouses: list[Site] = []
+        self.stores: list[Site] = []
+        site_index = 0
+        for kind, count, bucket in (
+                ("dc", config.distribution_centers, self.dcs),
+                ("warehouse", config.warehouses, self.warehouses),
+                ("store", config.stores, self.stores)):
+            for ordinal in range(count):
+                name = f"{_KIND_LABEL[kind]} {ordinal}"
+                site = Site(name=name, kind=kind, index=site_index)
+                for location_index in range(config.locations_per_site):
+                    gln = location_gln(site_index, location_index)
+                    site.locations.append(Location(
+                        gln=gln,
+                        reader=f"reader_{site_index:04d}_{location_index:03d}",
+                        site_name=name,
+                        description=f"{name} / bay {location_index}"))
+                self.sites.append(site)
+                bucket.append(site)
+                site_index += 1
+        # Fixed routing assignments: store -> warehouse -> DC.
+        self.store_warehouse = {
+            store.index: rng.choice(self.warehouses)
+            for store in self.stores}
+        self.warehouse_dc = {
+            warehouse.index: rng.choice(self.dcs)
+            for warehouse in self.warehouses}
+
+    def route_for_store(self, store: Site) -> list[Site]:
+        """The DC -> warehouse -> store path goods take to *store*."""
+        warehouse = self.store_warehouse[store.index]
+        dc = self.warehouse_dc[warehouse.index]
+        return [dc, warehouse, store]
+
+    def all_locations(self) -> list[Location]:
+        return [location for site in self.sites
+                for location in site.locations]
+
+
+_KIND_LABEL = {
+    "dc": "distribution center",
+    "warehouse": "warehouse",
+    "store": "store",
+}

@@ -1,0 +1,26 @@
+"""Experiment harness reproducing every table and figure of §6.
+
+Each module regenerates one paper artifact and prints the same
+rows/series the paper reports:
+
+==========  ==========================================================
+table1      expanded conditions per rule for q1 and q2 (Table 1)
+fig7        q1/q2 elapsed time vs rtime selectivity (Figure 7 a, d)
+plans       EXPLAIN plans for q1, q1_e, q2, q2_e, q2_j (Figure 7 b-g)
+fig8        q2' with an EPC-uncorrelated predicate (Figure 8)
+fig9        elapsed time vs #rules and vs anomaly %% (Figure 9 a-d)
+==========  ==========================================================
+
+Run ``python -m repro.experiments <name>`` or see ``benchmarks/`` for
+the pytest-benchmark wrappers.
+"""
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    QueryTimings,
+    run_variants,
+    workbench_for,
+)
+
+__all__ = ["ExperimentSettings", "QueryTimings", "run_variants",
+           "workbench_for"]

@@ -1,0 +1,38 @@
+"""CLI entry point: ``python -m repro.experiments [name ...]``.
+
+Names: table1, fig7, fig8, fig9, plans, eager, summary, all (default).
+Environment: REPRO_SCALE overrides the data scale factor.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import eager, fig7, fig8, fig9, plans, summary, table1
+
+
+def main(argv: list[str]) -> int:
+    names = [name.lower() for name in argv] or ["all"]
+    known = {
+        "table1": table1.main,
+        "fig7": fig7.main,
+        "fig8": fig8.main,
+        "fig9": fig9.main,
+        "plans": plans.main,
+        "eager": eager.main,
+        "summary": summary.main,
+    }
+    if "all" in names:
+        names = list(known)
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(known)} or 'all'")
+        return 2
+    for name in names:
+        known[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

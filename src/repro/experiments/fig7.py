@@ -1,0 +1,55 @@
+"""Figure 7 (a) and (d): q1 and q2 elapsed time vs rtime selectivity.
+
+Setup follows §6.2: only the reader rule is enabled, 10% anomalies, and
+the selectivity of the rtime predicate sweeps 1%..40%. For each point
+the four variants q / q_e / q_j / q_n are measured.
+
+Expected shape: q_e and q_j grow with selectivity and stay far below
+q_n; q1_e beats q1_j (order sharing makes cleansing almost free on q1's
+plan), while for q2 join-back wins at higher selectivities because the
+site predicate correlates with EPC and prunes whole sequences.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    QueryTimings,
+    print_header,
+    run_variants,
+    workbench_for,
+)
+
+__all__ = ["run", "main"]
+
+SELECTIVITIES = (0.01, 0.05, 0.10, 0.20, 0.40)
+
+
+def run(settings: ExperimentSettings | None = None,
+        selectivities=SELECTIVITIES,
+        queries=("q1", "q2")) -> dict[str, list[QueryTimings]]:
+    settings = settings or ExperimentSettings()
+    bench = workbench_for(settings, rule_names=("reader",))
+    results: dict[str, list[QueryTimings]] = {}
+    for query_name in queries:
+        series = []
+        for selectivity in selectivities:
+            sql = getattr(bench, query_name)(selectivity)
+            series.append(run_variants(bench, sql,
+                                       label=f"{int(selectivity*100)}%"))
+        results[query_name] = series
+    return results
+
+
+def main() -> None:
+    results = run()
+    for query_name, series in results.items():
+        part = "(a)" if query_name == "q1" else "(d)"
+        print_header(f"Figure 7{part}: {query_name} vs selectivity "
+                     "(reader rule, db-10)")
+        for point in series:
+            print(point.row() + f"   chosen={point.chosen}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Figure 8: q2' — the site predicate swapped for an EPC-uncorrelated
+business-step-type predicate.
+
+Expected shape (§6.2's extreme test): join-back loses its edge because
+the type predicate does not shrink the relevant EPC set, so q2'_j is no
+longer much better than q2'_e.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    QueryTimings,
+    print_header,
+    run_variants,
+    workbench_for,
+)
+
+__all__ = ["run", "main"]
+
+SELECTIVITIES = (0.01, 0.05, 0.10, 0.20, 0.40)
+
+
+def run(settings: ExperimentSettings | None = None,
+        selectivities=SELECTIVITIES) -> list[QueryTimings]:
+    settings = settings or ExperimentSettings()
+    bench = workbench_for(settings, rule_names=("reader",))
+    series = []
+    for selectivity in selectivities:
+        sql = bench.q2_prime(selectivity)
+        series.append(run_variants(bench, sql,
+                                   label=f"{int(selectivity*100)}%"))
+    return series
+
+
+def main() -> None:
+    print_header("Figure 8: q2' vs selectivity (uncorrelated type "
+                 "predicate, reader rule, db-10)")
+    for point in run():
+        print(point.row() + f"   chosen={point.chosen}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 9: scaling the number of rules (a, b) and the anomaly
+percentage (c, d).
+
+Rules part (§6.3): rtime selectivity fixed at 10%, db-10; rules added in
+Table 1 order. The expanded rewrite is feasible only up to the first
+three rules (the cycle rule's unbounded context kills it); join-back
+works for all five. Rules sharing the ordering requirement add little
+cost (one shared sort); the missing rule costs most because its derived
+union input roughly doubles the data to sort.
+
+Dirty part: first three rules, 10% selectivity, anomaly percentage 10..40
+(the paper's db-10..db-40).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    QueryTimings,
+    print_header,
+    run_variants,
+    workbench_for,
+)
+from repro.workloads import STANDARD_RULE_ORDER
+
+__all__ = ["run_rules", "run_dirty", "main"]
+
+SELECTIVITY = 0.10
+DIRTY_LEVELS = (10.0, 20.0, 30.0, 40.0)
+
+
+def run_rules(settings: ExperimentSettings | None = None,
+              queries=("q1", "q2")) -> dict[str, list[QueryTimings]]:
+    settings = settings or ExperimentSettings()
+    results: dict[str, list[QueryTimings]] = {name: [] for name in queries}
+    for count in range(1, len(STANDARD_RULE_ORDER) + 1):
+        rule_names = STANDARD_RULE_ORDER[:count]
+        bench = workbench_for(settings, rule_names=rule_names)
+        for query_name in queries:
+            sql = getattr(bench, query_name)(SELECTIVITY)
+            timings = run_variants(bench, sql, label=f"{count} rules")
+            results[query_name].append(timings)
+    return results
+
+
+def run_dirty(settings: ExperimentSettings | None = None,
+              queries=("q1", "q2"),
+              levels=DIRTY_LEVELS) -> dict[str, list[QueryTimings]]:
+    settings = settings or ExperimentSettings()
+    results: dict[str, list[QueryTimings]] = {name: [] for name in queries}
+    for level in levels:
+        leveled = replace(settings, anomaly_percent=level)
+        bench = workbench_for(
+            leveled, rule_names=("reader", "duplicate", "replacing"))
+        for query_name in queries:
+            sql = getattr(bench, query_name)(SELECTIVITY)
+            timings = run_variants(bench, sql, label=f"db-{int(level)}")
+            results[query_name].append(timings)
+    return results
+
+
+def main(part: str = "both") -> None:
+    if part in ("rules", "both"):
+        results = run_rules()
+        for query_name, series in results.items():
+            figure = "(a)" if query_name == "q1" else "(b)"
+            print_header(f"Figure 9{figure}: {query_name} vs #rules "
+                         f"(sel 10%, db-10)")
+            for point in series:
+                print(point.row() + f"   chosen={point.chosen}")
+    if part in ("dirty", "both"):
+        results = run_dirty()
+        for query_name, series in results.items():
+            figure = "(c)" if query_name == "q1" else "(d)"
+            print_header(f"Figure 9{figure}: {query_name} vs anomaly %% "
+                         f"(3 rules, sel 10%)")
+            for point in series:
+                print(point.row() + f"   chosen={point.chosen}")
+
+
+if __name__ == "__main__":
+    main()

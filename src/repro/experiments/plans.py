@@ -1,0 +1,48 @@
+"""Figure 7 (b), (c), (e), (f), (g): the execution plans the paper
+analyzes.
+
+Prints minidb EXPLAIN output for:
+
+* q1 on dirty data — index scan on rtime, one sort for the OLAP windows;
+* q1_e — the cleansing rule's window shares the query's sort
+  ("presorted" on the upper Window operator);
+* q2 on dirty data — caseR joined with locs first;
+* q2_e — cleansing sits directly above the caseR access, before the
+  locs join, and needs its own sort;
+* q2_j — the sequence list from caseR ⋈ locs, joined back via epc.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentSettings, workbench_for
+
+__all__ = ["collect_plans", "main"]
+
+
+def collect_plans(settings: ExperimentSettings | None = None,
+                  selectivity: float = 0.10) -> dict[str, str]:
+    settings = settings or ExperimentSettings()
+    bench = workbench_for(settings, rule_names=("reader",))
+    q1 = bench.q1(selectivity)
+    q2 = bench.q2(selectivity)
+    plans = {
+        "q1 (dirty, fig 7b)": bench.database.explain(q1).text,
+        "q1_e (fig 7c)": bench.engine.rewrite(
+            q1, strategies={"expanded"}).physical.explain(),
+        "q2 (dirty, fig 7e)": bench.database.explain(q2).text,
+        "q2_e (fig 7f)": bench.engine.rewrite(
+            q2, strategies={"expanded"}).physical.explain(),
+        "q2_j (fig 7g)": bench.engine.rewrite(
+            q2, strategies={"joinback"}).physical.explain(),
+    }
+    return plans
+
+
+def main() -> None:
+    for label, text in collect_plans().items():
+        print(f"\n=== {label} ===")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

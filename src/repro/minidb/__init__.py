@@ -1,0 +1,30 @@
+"""minidb — the relational substrate (DB2 stand-in) for the reproduction.
+
+A from-scratch, in-memory SQL engine with the capabilities the paper's
+deferred-cleansing system relies on: SQL/OLAP window functions over
+ROWS/RANGE frames, sorted indexes with range scans, joins, grouping, a
+cost-based planner with order-sharing, and EXPLAIN cost estimates.
+"""
+
+from repro.minidb.engine import Database, ExecutionMetrics, Explained
+from repro.minidb.optimizer.planner import PlannerOptions
+from repro.minidb.result import ResultSet
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.sqlparse import parse_expression, parse_select
+from repro.minidb.types import SqlType, minutes, hours, days
+
+__all__ = [
+    "Database",
+    "ExecutionMetrics",
+    "Explained",
+    "PlannerOptions",
+    "ResultSet",
+    "Column",
+    "TableSchema",
+    "SqlType",
+    "parse_select",
+    "parse_expression",
+    "minutes",
+    "hours",
+    "days",
+]

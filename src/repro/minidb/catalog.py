@@ -1,0 +1,49 @@
+"""The minidb catalog: the namespace of tables and their statistics."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.minidb.schema import TableSchema
+from repro.minidb.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A case-insensitive mapping from table names to :class:`Table`."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def create_table(self, name: str, schema: TableSchema) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(key, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise CatalogError(
+                f"no table named {name!r}; known tables: {known}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

@@ -1,0 +1,223 @@
+"""The minidb database facade.
+
+:class:`Database` ties the subsystems together: catalog, statistics,
+planner, executor. It accepts SQL text, parsed statements, or logical
+plans, and returns materialized :class:`ResultSet` objects. ``explain``
+surfaces the costed physical plan; the deferred-cleansing rewrite engine
+uses its root cost estimate to choose among candidate rewrites, mirroring
+how the paper compiles m+1 SQL statements on DB2 and keeps the cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.minidb.catalog import Catalog
+from repro.minidb.optimizer.cost import CostModel
+from repro.minidb.optimizer.planner import Planner, PlannerOptions
+from repro.minidb.optimizer.stats import StatsRepository
+from repro.minidb.plan.builder import build_plan
+from repro.minidb.plan.logical import LogicalNode
+from repro.minidb.plan.physical import PhysicalNode, SortOp
+from repro.minidb.plan.window import WindowOp
+from repro.minidb.result import ResultSet
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.sqlparse import parse_select, parse_sql
+from repro.minidb.sqlparse.ast import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+)
+from repro.minidb.table import Table
+
+__all__ = ["Database", "Explained", "ExecutionMetrics"]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work counters collected from an executed physical plan.
+
+    These are the quantities the paper's analysis reasons about: how many
+    rows each rewrite pulls from base tables, how many rows it sorts, and
+    how many sort passes it needs.
+    """
+
+    rows_emitted: int = 0
+    rows_sorted: int = 0
+    sort_operators: int = 0
+    operators: int = 0
+
+    @classmethod
+    def from_plan(cls, plan: PhysicalNode) -> "ExecutionMetrics":
+        metrics = cls()
+        for node in plan.walk():
+            metrics.operators += 1
+            metrics.rows_emitted += node.actual_rows
+            if isinstance(node, SortOp):
+                metrics.rows_sorted += node.sorted_rows
+                metrics.sort_operators += 1
+            elif isinstance(node, WindowOp) and node.sorted_rows:
+                metrics.rows_sorted += node.sorted_rows
+                metrics.sort_operators += 1
+        return metrics
+
+
+@dataclass
+class Explained:
+    """The outcome of ``Database.explain``."""
+
+    plan: PhysicalNode
+    text: str
+    estimated_cost: float
+    estimated_rows: float
+
+
+class Database:
+    """An in-memory relational database with a SQL/OLAP query engine."""
+
+    def __init__(self, options: PlannerOptions | None = None) -> None:
+        self.catalog = Catalog()
+        self.stats = StatsRepository()
+        self.cost_model = CostModel()
+        self.options = options or PlannerOptions()
+
+    # -- DDL / loading ------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> Table:
+        """Create an empty table."""
+        return self.catalog.create_table(name, schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.stats.invalidate(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def load(self, name: str,
+             rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Bulk-load rows and refresh the table's statistics."""
+        table = self.catalog.table(name)
+        buffered = list(rows)
+        if buffered and isinstance(buffered[0], Mapping):
+            names = table.schema.names
+            buffered = [[row.get(column) for column in names]
+                        for row in buffered]
+        loaded = table.bulk_load(buffered)
+        self.stats.analyze(table)
+        return loaded
+
+    def create_index(self, table_name: str, column: str,
+                     name: str | None = None) -> None:
+        self.catalog.table(table_name).create_index(column, name)
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """Recompute statistics (RUNSTATS equivalent)."""
+        if table_name is not None:
+            self.stats.analyze(self.catalog.table(table_name))
+            return
+        for table in self.catalog:
+            self.stats.analyze(table)
+
+    # -- planning -------------------------------------------------------
+
+    def _ensure_stats(self) -> None:
+        for table in self.catalog:
+            if self.stats.get(table.name) is None:
+                self.stats.analyze(table)
+
+    def _to_logical(self, query: str | SelectStmt | LogicalNode) -> LogicalNode:
+        if isinstance(query, LogicalNode):
+            return query
+        if isinstance(query, str):
+            query = parse_select(query)
+        return build_plan(query, self.catalog)
+
+    def plan(self, query: str | SelectStmt | LogicalNode,
+             options: PlannerOptions | None = None) -> PhysicalNode:
+        """Produce the costed physical plan without executing it."""
+        self._ensure_stats()
+        planner = Planner(self.catalog, self.stats, self.cost_model,
+                          options or self.options)
+        return planner.plan(self._to_logical(query))
+
+    def explain(self, query: str | SelectStmt | LogicalNode,
+                options: PlannerOptions | None = None) -> Explained:
+        """Plan *query* and return the plan with its cost estimate."""
+        plan = self.plan(query, options)
+        return Explained(plan=plan, text=plan.explain(),
+                         estimated_cost=plan.estimated_cost,
+                         estimated_rows=plan.estimated_rows)
+
+    def explain_analyze(self, query: str | SelectStmt | LogicalNode,
+                        options: PlannerOptions | None = None) -> Explained:
+        """Execute *query* and return the plan annotated with actual row
+        counts (EXPLAIN ANALYZE)."""
+        plan = self.plan(query, options)
+        for _ in plan.rows():
+            pass
+        return Explained(plan=plan, text=plan.explain(analyze=True),
+                         estimated_cost=plan.estimated_cost,
+                         estimated_rows=plan.estimated_rows)
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, query: str | SelectStmt | LogicalNode,
+                options: PlannerOptions | None = None) -> ResultSet:
+        """Plan and run *query*, returning a materialized result."""
+        plan = self.plan(query, options)
+        rows = list(plan.rows())
+        columns = [field.name for field in plan.schema]
+        return ResultSet(columns, rows)
+
+    def run(self, sql: str) -> ResultSet:
+        """Execute any supported SQL statement.
+
+        SELECT returns its result set; CREATE TABLE / CREATE INDEX return
+        an empty ``ok`` result; INSERT returns the inserted-row count.
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, SelectStmt):
+            return self.execute(statement)
+        if isinstance(statement, CreateTableStmt):
+            self.create_table(statement.name, TableSchema(
+                Column(name, sql_type)
+                for name, sql_type in statement.columns))
+            return ResultSet(["ok"], [])
+        if isinstance(statement, CreateIndexStmt):
+            self.create_index(statement.table, statement.column,
+                              statement.name)
+            return ResultSet(["ok"], [])
+        if isinstance(statement, DropTableStmt):
+            self.drop_table(statement.name)
+            return ResultSet(["ok"], [])
+        if isinstance(statement, InsertStmt):
+            table = self.catalog.table(statement.table)
+            names = statement.columns or list(table.schema.names)
+            inserted = 0
+            for row in statement.rows:
+                if len(row) != len(names):
+                    from repro.errors import SchemaError
+                    raise SchemaError(
+                        f"INSERT expects {len(names)} values, got {len(row)}")
+                values = {
+                    name: expr.bind(lambda q, n: 0)(())
+                    for name, expr in zip(names, row)}
+                table.insert(values)
+                inserted += 1
+            self.stats.analyze(table)
+            return ResultSet(["rows_inserted"], [(inserted,)])
+        raise AssertionError(f"unhandled statement {statement!r}")
+
+    def execute_with_metrics(
+            self, query: str | SelectStmt | LogicalNode,
+            options: PlannerOptions | None = None,
+    ) -> tuple[ResultSet, ExecutionMetrics]:
+        """Run *query* and also report per-operator work counters."""
+        plan = self.plan(query, options)
+        rows = list(plan.rows())
+        columns = [field.name for field in plan.schema]
+        return (ResultSet(columns, rows), ExecutionMetrics.from_plan(plan))

@@ -1,0 +1,111 @@
+"""Single-column sorted indexes for minidb tables.
+
+An index is a sorted array of ``(key, row_position)`` pairs searched with
+``bisect`` — the pure-Python stand-in for the B-tree indexes the paper
+creates on every column of ``caseR``/``palletR``. It supports equality
+and range lookups and answers the planner's "matching row count" probes
+exactly, which the cost model uses in place of histogram estimates when
+an index exists.
+
+NULL keys are excluded from the index (as in most engines): a predicate
+match via an index never returns rows whose key is NULL, matching SQL
+comparison semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+__all__ = ["SortedIndex", "IndexRange"]
+
+
+class IndexRange:
+    """A half-open key interval ``[low, high]`` with optional open ends.
+
+    ``low``/``high`` of ``None`` mean unbounded on that side.
+    """
+
+    __slots__ = ("low", "high", "low_inclusive", "high_inclusive")
+
+    def __init__(self, low: Any = None, high: Any = None, *,
+                 low_inclusive: bool = True, high_inclusive: bool = True) -> None:
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    @classmethod
+    def equals(cls, key: Any) -> "IndexRange":
+        return cls(low=key, high=key)
+
+    def __repr__(self) -> str:
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return f"IndexRange{left}{self.low!r}, {self.high!r}{right}"
+
+
+class SortedIndex:
+    """A sorted single-column index over a table's rows.
+
+    The index is built once over the full table (or rebuilt after bulk
+    loads); point inserts keep it sorted incrementally. Row positions
+    refer to offsets in the owning table's row list.
+    """
+
+    def __init__(self, name: str, column: str) -> None:
+        self.name = name
+        self.column = column
+        self._keys: list[Any] = []
+        self._positions: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def build(self, keyed_positions: Iterable[tuple[Any, int]]) -> None:
+        """(Re)build the index from ``(key, position)`` pairs."""
+        pairs = sorted(
+            (pair for pair in keyed_positions if pair[0] is not None),
+            key=lambda pair: pair[0])
+        self._keys = [key for key, _ in pairs]
+        self._positions = [position for _, position in pairs]
+
+    def insert(self, key: Any, position: int) -> None:
+        """Insert one entry, keeping the index sorted."""
+        if key is None:
+            return
+        slot = bisect.bisect_right(self._keys, key)
+        self._keys.insert(slot, key)
+        self._positions.insert(slot, position)
+
+    def _bounds(self, key_range: IndexRange) -> tuple[int, int]:
+        if key_range.low is None:
+            start = 0
+        elif key_range.low_inclusive:
+            start = bisect.bisect_left(self._keys, key_range.low)
+        else:
+            start = bisect.bisect_right(self._keys, key_range.low)
+        if key_range.high is None:
+            stop = len(self._keys)
+        elif key_range.high_inclusive:
+            stop = bisect.bisect_right(self._keys, key_range.high)
+        else:
+            stop = bisect.bisect_left(self._keys, key_range.high)
+        return start, max(stop, start)
+
+    def scan(self, key_range: IndexRange) -> Iterator[int]:
+        """Yield row positions whose key falls in *key_range*, key order."""
+        start, stop = self._bounds(key_range)
+        for slot in range(start, stop):
+            yield self._positions[slot]
+
+    def count(self, key_range: IndexRange) -> int:
+        """Exact number of entries in *key_range* (no row access)."""
+        start, stop = self._bounds(key_range)
+        return stop - start
+
+    def min_key(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        return self._keys[-1] if self._keys else None

@@ -1,0 +1,1 @@
+"""Cost-based optimizer: statistics, cardinality, cost model, planner."""

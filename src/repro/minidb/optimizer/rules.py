@@ -1,0 +1,239 @@
+"""Logical rewrite rules: predicate pushdown.
+
+The pushdown pass sinks WHERE conjuncts as close to base tables as
+semantics allow. The interesting rule — and the one the paper's whole
+rewrite problem revolves around — is the **window barrier**: a predicate
+may only move below a Window node when it references nothing but the
+window's PARTITION BY columns, because removing rows from a sequence
+changes every frame computed over that sequence. Predicates over the
+sequence key (e.g. ``rtime < T1``) therefore stay above cleansing
+windows; relocating them correctly is the job of the deferred-cleansing
+rewrite engine, not the DBMS optimizer (Section 5.1 of the paper makes
+exactly this point).
+"""
+
+from __future__ import annotations
+
+from repro.minidb.expressions import ColumnRef, Expr, and_all
+from repro.minidb.plan.builder import split_conjuncts
+from repro.minidb.plan.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalRequalify,
+    LogicalScan,
+    LogicalSemiJoin,
+    LogicalSort,
+    LogicalUnion,
+    LogicalWindow,
+)
+
+__all__ = ["push_down_filters"]
+
+
+def push_down_filters(node: LogicalNode) -> LogicalNode:
+    """Return an equivalent plan with filters pushed toward the leaves."""
+    return _push(node, [])
+
+
+def _wrap(node: LogicalNode, conjuncts: list[Expr]) -> LogicalNode:
+    predicate = and_all(conjuncts)
+    if predicate is None:
+        return node
+    return LogicalFilter(node, predicate)
+
+
+def _resolves(conjunct: Expr, node: LogicalNode) -> bool:
+    """Whether every column reference of *conjunct* resolves in *node*."""
+    for ref in conjunct.referenced_columns():
+        if not node.schema.has(ref.qualifier, ref.name):
+            return False
+    return True
+
+
+def _push(node: LogicalNode, conjuncts: list[Expr]) -> LogicalNode:
+    """Push *conjuncts* (valid over node's output) into *node*.
+
+    Returns a plan equivalent to ``Filter(conjuncts, node)`` with every
+    conjunct placed as low as its semantics allow.
+    """
+    if isinstance(node, LogicalFilter):
+        return _push(node.child, conjuncts + split_conjuncts(node.predicate))
+
+    if isinstance(node, LogicalScan):
+        return _wrap(node, conjuncts)
+
+    if isinstance(node, LogicalJoin):
+        return _push_join(node, conjuncts)
+
+    if isinstance(node, LogicalSemiJoin):
+        sinkable = [c for c in conjuncts if _resolves(c, node.left)]
+        kept = [c for c in conjuncts if c not in sinkable]
+        left = _push(node.left, sinkable)
+        right = _push(node.right, [])
+        return _wrap(
+            LogicalSemiJoin(left, right, node.left_expr, node.negated), kept)
+
+    if isinstance(node, LogicalProject):
+        return _push_project(node, conjuncts)
+
+    if isinstance(node, LogicalWindow):
+        return _push_window(node, conjuncts)
+
+    if isinstance(node, LogicalAggregate):
+        return _push_aggregate(node, conjuncts)
+
+    if isinstance(node, LogicalRequalify):
+        rebound = [_rebind_by_position(c, node.schema, node.child.schema)
+                   for c in conjuncts]
+        return LogicalRequalify(_push(node.child, rebound), node.binding)
+
+    if isinstance(node, LogicalDistinct):
+        return LogicalDistinct(_push(node.child, conjuncts))
+
+    if isinstance(node, LogicalSort):
+        return LogicalSort(_push(node.child, conjuncts), node.keys)
+
+    if isinstance(node, LogicalLimit):
+        # Filtering after LIMIT is not the same as before it: stop here.
+        return _wrap(LogicalLimit(_push(node.child, []), node.count),
+                     conjuncts)
+
+    if isinstance(node, LogicalUnion):
+        left_conjuncts = [
+            _rebind_by_position(c, node.schema, node.left.schema)
+            for c in conjuncts]
+        right_conjuncts = [
+            _rebind_by_position(c, node.schema, node.right.schema)
+            for c in conjuncts]
+        return LogicalUnion(_push(node.left, left_conjuncts),
+                            _push(node.right, right_conjuncts),
+                            node.all_rows)
+
+    # Unknown node kind: be conservative.
+    return _wrap(node, conjuncts)
+
+
+def _rebind_by_position(conjunct: Expr, outer, inner) -> Expr:
+    """Rewrite refs valid over *outer* schema into refs over *inner*.
+
+    The two schemas must be positionally aligned (Requalify, Union).
+    """
+    mapping: dict[Expr, Expr] = {}
+    for ref in conjunct.referenced_columns():
+        position = outer.resolve(ref.qualifier, ref.name)
+        target = inner.fields[position]
+        mapping[ref] = ColumnRef(target.name, target.qualifier)
+    return conjunct.substitute(mapping)
+
+
+def _push_join(node: LogicalJoin, conjuncts: list[Expr]) -> LogicalNode:
+    all_conjuncts = list(conjuncts)
+    join_condition_conjuncts = split_conjuncts(node.condition)
+    if node.kind == "inner":
+        all_conjuncts.extend(join_condition_conjuncts)
+        left_sink: list[Expr] = []
+        right_sink: list[Expr] = []
+        remaining: list[Expr] = []
+        for conjunct in all_conjuncts:
+            if _resolves(conjunct, node.left):
+                left_sink.append(conjunct)
+            elif _resolves(conjunct, node.right):
+                right_sink.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        left = _push(node.left, left_sink)
+        right = _push(node.right, right_sink)
+        return LogicalJoin(left, right, "inner", and_all(remaining))
+    # LEFT JOIN: conjuncts from above may only sink to the preserved
+    # (left) side; the ON condition stays put.
+    left_sink = [c for c in conjuncts if _resolves(c, node.left)]
+    kept = [c for c in conjuncts if c not in left_sink]
+    left = _push(node.left, left_sink)
+    right = _push(node.right, [])
+    return _wrap(LogicalJoin(left, right, "left", node.condition), kept)
+
+
+def _push_project(node: LogicalProject,
+                  conjuncts: list[Expr]) -> LogicalNode:
+    item_by_name = {name: expr for expr, name in node.items}
+    sinkable: list[Expr] = []
+    kept: list[Expr] = []
+    for conjunct in conjuncts:
+        mapping: dict[Expr, Expr] = {}
+        ok = True
+        for ref in conjunct.referenced_columns():
+            source = item_by_name.get(ref.name)
+            if source is None or ref.qualifier is not None:
+                ok = False
+                break
+            mapping[ref] = source
+        if ok:
+            sinkable.append(conjunct.substitute(mapping))
+        else:
+            kept.append(conjunct)
+    child = _push(node.child, sinkable)
+    return _wrap(LogicalProject(child, node.items), kept)
+
+
+def _push_window(node: LogicalWindow, conjuncts: list[Expr]) -> LogicalNode:
+    """Sink only conjuncts restricted to the PARTITION BY columns.
+
+    Removing whole partitions cannot change any window result inside the
+    surviving partitions; removing anything else can (the paper's
+    Section 5.1 counterexamples).
+    """
+    partition_positions: set[int] = set()
+    partition_is_columns = True
+    for expr in node.partition_by:
+        if isinstance(expr, ColumnRef):
+            partition_positions.add(
+                node.child.schema.resolve(expr.qualifier, expr.name))
+        else:
+            partition_is_columns = False
+            break
+    sinkable: list[Expr] = []
+    kept: list[Expr] = []
+    for conjunct in conjuncts:
+        if not partition_is_columns:
+            kept.append(conjunct)
+            continue
+        positions = set()
+        resolvable = True
+        for ref in conjunct.referenced_columns():
+            if not node.child.schema.has(ref.qualifier, ref.name):
+                resolvable = False
+                break
+            positions.add(node.child.schema.resolve(ref.qualifier, ref.name))
+        if resolvable and positions and positions <= partition_positions:
+            sinkable.append(conjunct)
+        else:
+            kept.append(conjunct)
+    child = _push(node.child, sinkable)
+    return _wrap(LogicalWindow(child, node.functions), kept)
+
+
+def _push_aggregate(node: LogicalAggregate,
+                    conjuncts: list[Expr]) -> LogicalNode:
+    group_sources = {name: expr for expr, name in node.group}
+    sinkable: list[Expr] = []
+    kept: list[Expr] = []
+    for conjunct in conjuncts:
+        mapping: dict[Expr, Expr] = {}
+        ok = True
+        for ref in conjunct.referenced_columns():
+            source = group_sources.get(ref.name)
+            if source is None or ref.qualifier is not None:
+                ok = False
+                break
+            mapping[ref] = source
+        if ok:
+            sinkable.append(conjunct.substitute(mapping))
+        else:
+            kept.append(conjunct)
+    child = _push(node.child, sinkable)
+    return _wrap(LogicalAggregate(child, node.group, node.aggregates), kept)

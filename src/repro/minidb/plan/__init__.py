@@ -1,0 +1,1 @@
+"""Logical and physical query plans."""

@@ -1,0 +1,378 @@
+"""Lowering from the parsed SQL AST to a logical plan.
+
+Implements standard SQL clause evaluation order:
+
+``FROM`` (joins) -> ``WHERE`` -> ``GROUP BY`` / aggregates -> ``HAVING``
+-> window functions -> select list -> ``DISTINCT`` -> set ops ->
+``ORDER BY`` -> ``LIMIT``.
+
+Window functions and aggregate calls found in the select list are
+extracted into dedicated plan nodes and replaced by references to
+computed columns. ``IN (SELECT ...)`` conjuncts in WHERE become
+semi-joins.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PlanningError
+from repro.minidb.catalog import Catalog
+from repro.minidb.expressions import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InSubquery,
+    SortSpec,
+    UnaryOp,
+    WindowFunction,
+    and_all,
+)
+from repro.minidb.plan.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalRequalify,
+    LogicalSemiJoin,
+    LogicalSort,
+    LogicalUnion,
+    LogicalWindow,
+)
+from repro.minidb.plan.logical import LogicalScan
+from repro.minidb.sqlparse.ast import (
+    DerivedTable,
+    JoinRef,
+    SelectItem,
+    SelectStmt,
+    TableName,
+    TableRef,
+)
+
+__all__ = ["build_plan", "split_conjuncts"]
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def build_plan(statement: SelectStmt, catalog: Catalog,
+               outer_ctes: Mapping[str, SelectStmt] | None = None,
+               table_plans: Mapping[str, LogicalNode] | None = None,
+               ) -> LogicalNode:
+    """Build the logical plan for *statement* against *catalog*.
+
+    ``table_plans`` maps table names to pre-built logical subplans; a
+    FROM reference to such a name binds the subplan instead of scanning
+    the stored table. The deferred-cleansing rewrite engine uses this to
+    substitute Φ_C(...) for the reads table.
+    """
+    return _Builder(catalog, outer_ctes or {}, table_plans or {}) \
+        .build(statement)
+
+
+class _Builder:
+    def __init__(self, catalog: Catalog,
+                 ctes: Mapping[str, SelectStmt],
+                 table_plans: Mapping[str, LogicalNode] | None = None) -> None:
+        self._catalog = catalog
+        self._ctes = dict(ctes)
+        self._table_plans = dict(table_plans or {})
+        self._generated = 0
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._generated += 1
+        return f"_{prefix}{self._generated}"
+
+    # ------------------------------------------------------------------
+
+    def build(self, statement: SelectStmt) -> LogicalNode:
+        scope_ctes = dict(self._ctes)
+        scope_ctes.update({cte.name: cte.select for cte in statement.ctes})
+        builder = _Builder(self._catalog, scope_ctes, self._table_plans)
+        plan = builder._build_core(statement)
+        if statement.set_op is not None:
+            right = _Builder(self._catalog, scope_ctes,
+                             self._table_plans).build(
+                statement.set_op.right)
+            plan = LogicalUnion(plan, right,
+                                all_rows=statement.set_op.op == "union_all")
+            if statement.set_op.op == "union":
+                plan = LogicalDistinct(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _build_core(self, statement: SelectStmt) -> LogicalNode:
+        plan = self._build_from(statement.from_refs)
+        plan = self._apply_where(plan, statement.where)
+        plan, item_exprs, having = self._apply_grouping(plan, statement)
+        if having is not None:
+            plan = LogicalFilter(plan, having)
+        plan, item_exprs = self._apply_windows(plan, item_exprs)
+        items = self._expand_items(plan, statement.items, item_exprs)
+        sort_specs: list[SortSpec] = []
+        hidden: list[tuple[Expr, str]] = []
+        if statement.order_by:
+            sort_specs, hidden = self._resolve_order_by(
+                plan, statement.order_by, statement.items, items)
+        if hidden and statement.distinct:
+            raise PlanningError(
+                "ORDER BY expressions must appear in the select list "
+                "when DISTINCT is used")
+        plan = LogicalProject(plan, items + hidden)
+        if statement.distinct:
+            plan = LogicalDistinct(plan)
+        if sort_specs:
+            plan = LogicalSort(plan, sort_specs)
+        if hidden:
+            # Drop the hidden sort columns after ordering.
+            plan = LogicalProject(
+                plan, [(ColumnRef(name), name) for _, name in items])
+        if statement.limit is not None:
+            plan = LogicalLimit(plan, statement.limit)
+        return plan
+
+    # -- FROM -----------------------------------------------------------
+
+    def _build_from(self, refs: list[TableRef]) -> LogicalNode:
+        if not refs:
+            raise PlanningError("queries without a FROM clause are not "
+                                "supported")
+        plan = self._build_table_ref(refs[0])
+        for ref in refs[1:]:
+            plan = LogicalJoin(plan, self._build_table_ref(ref))
+        return plan
+
+    def _build_table_ref(self, ref: TableRef) -> LogicalNode:
+        if isinstance(ref, TableName):
+            if ref.name in self._table_plans:
+                return LogicalRequalify(self._table_plans[ref.name],
+                                        ref.binding)
+            if ref.name in self._ctes:
+                sub_plan = self.build(self._ctes[ref.name])
+                return LogicalRequalify(sub_plan, ref.binding)
+            table = self._catalog.table(ref.name)
+            return LogicalScan(table, ref.binding)
+        if isinstance(ref, DerivedTable):
+            sub_plan = self.build(ref.select)
+            return LogicalRequalify(sub_plan, ref.alias)
+        if isinstance(ref, JoinRef):
+            left = self._build_table_ref(ref.left)
+            right = self._build_table_ref(ref.right)
+            return LogicalJoin(left, right, ref.kind, ref.condition)
+        raise PlanningError(f"unsupported table reference {ref!r}")
+
+    # -- WHERE ------------------------------------------------------------
+
+    def _apply_where(self, plan: LogicalNode,
+                     where: Expr | None) -> LogicalNode:
+        plain: list[Expr] = []
+        for conjunct in split_conjuncts(where):
+            if isinstance(conjunct, InSubquery):
+                plan = self._semi_join(plan, conjunct)
+            elif isinstance(conjunct, UnaryOp) and conjunct.op == "not" \
+                    and isinstance(conjunct.operand, InSubquery):
+                inner = conjunct.operand
+                plan = self._semi_join(
+                    plan, InSubquery(inner.operand, inner.subquery,
+                                     not inner.negated))
+            else:
+                for node in conjunct.walk():
+                    if isinstance(node, InSubquery):
+                        raise PlanningError(
+                            "IN (SELECT ...) is only supported as a "
+                            "top-level AND conjunct of WHERE")
+                plain.append(conjunct)
+        predicate = and_all(plain)
+        if predicate is not None:
+            plan = LogicalFilter(plan, predicate)
+        return plan
+
+    def _semi_join(self, plan: LogicalNode,
+                   conjunct: InSubquery) -> LogicalNode:
+        subquery_plan = _Builder(self._catalog, self._ctes,
+                                 self._table_plans).build(
+            conjunct.subquery)
+        return LogicalSemiJoin(plan, subquery_plan, conjunct.operand,
+                               conjunct.negated)
+
+    # -- GROUP BY / aggregates -------------------------------------------
+
+    def _apply_grouping(
+        self, plan: LogicalNode, statement: SelectStmt,
+    ) -> tuple[LogicalNode, list[Expr | None], Expr | None]:
+        """Returns (plan, rewritten select-item exprs, rewritten HAVING)."""
+        item_exprs: list[Expr | None] = [
+            item.expr for item in statement.items]
+        aggregates: list[AggregateCall] = []
+        for expr in item_exprs:
+            if expr is None:
+                continue
+            for node in expr.walk():
+                if isinstance(node, AggregateCall) and node not in aggregates:
+                    aggregates.append(node)
+        if statement.having is not None:
+            for node in statement.having.walk():
+                if isinstance(node, AggregateCall) and node not in aggregates:
+                    aggregates.append(node)
+        if not statement.group_by and not aggregates:
+            return plan, item_exprs, statement.having
+        if statement.having is not None and not statement.group_by \
+                and not aggregates:
+            raise PlanningError("HAVING requires GROUP BY or aggregates")
+
+        group_items: list[tuple[Expr, str]] = []
+        substitution: dict[Expr, Expr] = {}
+        used_group_names: set[str] = set()
+        for position, expr in enumerate(statement.group_by):
+            if isinstance(expr, ColumnRef) \
+                    and expr.name not in used_group_names:
+                name = expr.name
+            else:
+                name = self._fresh_name("g")
+            used_group_names.add(name)
+            group_items.append((expr, name))
+            substitution[expr] = ColumnRef(name)
+        aggregate_items: list[tuple[AggregateCall, str]] = []
+        for position, call in enumerate(aggregates):
+            name = self._fresh_name("a")
+            aggregate_items.append((call, name))
+            substitution[call] = ColumnRef(name)
+
+        plan = LogicalAggregate(plan, group_items, aggregate_items)
+        rewritten_items = [
+            expr.substitute(substitution) if expr is not None else None
+            for expr in item_exprs]
+        having = (statement.having.substitute(substitution)
+                  if statement.having is not None else None)
+        return plan, rewritten_items, having
+
+    # -- window functions --------------------------------------------------
+
+    def _apply_windows(
+        self, plan: LogicalNode, item_exprs: list[Expr | None],
+    ) -> tuple[LogicalNode, list[Expr | None]]:
+        window_calls: list[WindowFunction] = []
+        for expr in item_exprs:
+            if expr is None:
+                continue
+            for node in expr.walk():
+                if isinstance(node, WindowFunction) \
+                        and node not in window_calls:
+                    window_calls.append(node)
+        if not window_calls:
+            return plan, item_exprs
+        # Group calls that share partition/order keys into a single
+        # Window node, preserving first-appearance order of groups.
+        groups: list[tuple[tuple, list[WindowFunction]]] = []
+        for call in window_calls:
+            signature = (call.partition_by, call.order_by)
+            for existing_signature, members in groups:
+                if existing_signature == signature:
+                    members.append(call)
+                    break
+            else:
+                groups.append((signature, [call]))
+        substitution: dict[Expr, Expr] = {}
+        for _, members in groups:
+            named = [(call, self._fresh_name("w")) for call in members]
+            plan = LogicalWindow(plan, named)
+            for call, name in named:
+                substitution[call] = ColumnRef(name)
+        rewritten = [
+            expr.substitute(substitution) if expr is not None else None
+            for expr in item_exprs]
+        return plan, rewritten
+
+    # -- select list --------------------------------------------------------
+
+    def _expand_items(
+        self, plan: LogicalNode, items: list[SelectItem],
+        item_exprs: list[Expr | None],
+    ) -> list[tuple[Expr, str]]:
+        out: list[tuple[Expr, str]] = []
+        used_names: set[str] = set()
+
+        def unique(name: str) -> str:
+            candidate = name
+            suffix = 1
+            while candidate in used_names:
+                candidate = f"{name}_{suffix}"
+                suffix += 1
+            used_names.add(candidate)
+            return candidate
+
+        for item, expr in zip(items, item_exprs):
+            if item.star:
+                for field in plan.schema:
+                    if item.qualifier and field.qualifier != item.qualifier:
+                        continue
+                    # Skip engine-generated window/aggregate columns.
+                    if field.qualifier is None and field.name.startswith("_"):
+                        continue
+                    out.append((ColumnRef(field.name, field.qualifier),
+                                unique(field.name)))
+                continue
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, ColumnRef):
+                name = item.expr.name
+            else:
+                name = self._fresh_name("col")
+            out.append((expr, unique(name)))
+        return out
+
+    # -- ORDER BY -------------------------------------------------------
+
+    def _resolve_order_by(
+        self, plan: LogicalNode, order_by: list[SortSpec],
+        original_items: list[SelectItem],
+        projected: list[tuple[Expr, str]],
+    ) -> tuple[list[SortSpec], list[tuple[Expr, str]]]:
+        """Map ORDER BY expressions onto the projection's output.
+
+        Resolution order per the SQL convention: a select-item alias or
+        identical expression; an output column name; otherwise the
+        expression is computed over the pre-projection plan as a hidden
+        column (returned separately) that the caller sorts on and then
+        drops.
+        """
+        projected_names = {name for _, name in projected}
+        by_expr = {}
+        for item, (expr, name) in zip(
+                [i for i in original_items if not i.star], projected):
+            if item.expr is not None:
+                by_expr.setdefault(item.expr, name)
+        resolved: list[SortSpec] = []
+        hidden: list[tuple[Expr, str]] = []
+        for spec in order_by:
+            expr = spec.expr
+            if expr in by_expr:
+                resolved.append(SortSpec(ColumnRef(by_expr[expr]),
+                                         spec.ascending))
+                continue
+            if isinstance(expr, ColumnRef) and expr.qualifier is None \
+                    and expr.name in projected_names:
+                resolved.append(SortSpec(ColumnRef(expr.name),
+                                         spec.ascending))
+                continue
+            # Hidden sort column computed over the pre-projection plan.
+            for ref in expr.referenced_columns():
+                if not plan.schema.has(ref.qualifier, ref.name):
+                    raise PlanningError(
+                        f"ORDER BY expression {expr.to_sql()} references "
+                        f"unknown column {ref.to_sql()}")
+            name = self._fresh_name("ord")
+            hidden.append((expr, name))
+            resolved.append(SortSpec(ColumnRef(name), spec.ascending))
+        return resolved, hidden

@@ -1,0 +1,411 @@
+"""Logical plan operators.
+
+Each node is a small immutable-ish tree object that knows its output
+:class:`PlanSchema`. The builder (``plan/builder.py``) produces logical
+plans from parsed AST; the optimizer rewrites them; the planner lowers
+them to physical operators.
+
+Expression output types are inferred by :func:`infer_type`, which is
+deliberately simple: it exists so plan schemas can be propagated and
+rule-input compatibility checked, not to implement a full SQL type
+system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import PlanningError
+from repro.minidb.expressions import (
+    AggregateCall,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    SortSpec,
+    UnaryOp,
+    WindowFunction,
+)
+from repro.minidb.plan.planschema import Field, PlanSchema
+from repro.minidb.table import Table
+from repro.minidb.types import SqlType
+
+__all__ = [
+    "infer_type",
+    "LogicalNode",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalProject",
+    "LogicalJoin",
+    "LogicalSemiJoin",
+    "LogicalAggregate",
+    "LogicalWindow",
+    "LogicalDistinct",
+    "LogicalUnion",
+    "LogicalSort",
+    "LogicalLimit",
+    "LogicalRequalify",
+]
+
+
+def _literal_type(value: Any) -> SqlType:
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.DOUBLE
+    if isinstance(value, str):
+        return SqlType.VARCHAR
+    if value is None:
+        return SqlType.VARCHAR
+    raise PlanningError(f"cannot type literal {value!r}")
+
+
+def infer_type(expr: Expr, schema: PlanSchema) -> SqlType:
+    """Best-effort static type of *expr* over rows of *schema*."""
+    if isinstance(expr, ColumnRef):
+        return schema.fields[schema.resolve(expr.qualifier, expr.name)].sql_type
+    if isinstance(expr, Literal):
+        return _literal_type(expr.value)
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("and", "or") or expr.op in ("=", "!=", "<", "<=",
+                                                   ">", ">="):
+            return SqlType.BOOLEAN
+        left = infer_type(expr.left, schema)
+        right = infer_type(expr.right, schema)
+        if expr.op == "-" and left is SqlType.TIMESTAMP \
+                and right is SqlType.TIMESTAMP:
+            return SqlType.INTERVAL
+        if SqlType.TIMESTAMP in (left, right):
+            return SqlType.TIMESTAMP
+        if expr.op == "/":
+            return SqlType.DOUBLE
+        if SqlType.DOUBLE in (left, right):
+            return SqlType.DOUBLE
+        if SqlType.INTERVAL in (left, right):
+            return SqlType.INTERVAL
+        return SqlType.INTEGER
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return SqlType.BOOLEAN
+        return infer_type(expr.operand, schema)
+    if isinstance(expr, (IsNull, InList, InSubquery)):
+        return SqlType.BOOLEAN
+    if isinstance(expr, Case):
+        for _, result in expr.whens:
+            if not (isinstance(result, Literal) and result.value is None):
+                return infer_type(result, schema)
+        if expr.else_result is not None:
+            return infer_type(expr.else_result, schema)
+        return SqlType.VARCHAR
+    if isinstance(expr, FuncCall):
+        if expr.name in ("length", "abs"):
+            return SqlType.INTEGER if expr.name == "length" \
+                else infer_type(expr.args[0], schema)
+        if expr.name == "like":
+            return SqlType.BOOLEAN
+        if expr.name in ("coalesce", "nullif", "least", "greatest"):
+            return infer_type(expr.args[0], schema)
+        return SqlType.VARCHAR
+    if isinstance(expr, AggregateCall):
+        if expr.name == "count":
+            return SqlType.INTEGER
+        if expr.name == "avg":
+            return SqlType.DOUBLE
+        return infer_type(expr.argument, schema)
+    if isinstance(expr, WindowFunction):
+        if expr.name in ("count", "row_number"):
+            return SqlType.INTEGER
+        if expr.name == "avg":
+            return SqlType.DOUBLE
+        if expr.argument is None:
+            return SqlType.INTEGER
+        return infer_type(expr.argument, schema)
+    raise PlanningError(f"cannot infer type of {expr!r}")
+
+
+class LogicalNode:
+    """Base class: every logical operator exposes schema and children."""
+
+    schema: PlanSchema
+
+    def children(self) -> Sequence["LogicalNode"]:
+        return ()
+
+    def label(self) -> str:
+        """Single-line description for EXPLAIN output."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["LogicalNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class LogicalScan(LogicalNode):
+    """Full access to a stored table, bound under *binding*."""
+
+    def __init__(self, table: Table, binding: str | None = None) -> None:
+        self.table = table
+        self.binding = (binding or table.name).lower()
+        self.schema = PlanSchema.from_table(table.schema, self.binding,
+                                            table_name=table.name)
+
+    def label(self) -> str:
+        if self.binding != self.table.name:
+            return f"Scan({self.table.name} AS {self.binding})"
+        return f"Scan({self.table.name})"
+
+
+class LogicalFilter(LogicalNode):
+    """Row filter: keeps rows where *predicate* evaluates to TRUE."""
+
+    def __init__(self, child: LogicalNode, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+class LogicalProject(LogicalNode):
+    """Computes a new row shape from named expressions."""
+
+    def __init__(self, child: LogicalNode,
+                 items: Sequence[tuple[Expr, str]]) -> None:
+        self.child = child
+        self.items = [(expr, name.lower()) for expr, name in items]
+        fields = []
+        for expr, name in self.items:
+            origin = None
+            if isinstance(expr, ColumnRef):
+                position = child.schema.resolve(expr.qualifier, expr.name)
+                origin = child.schema.fields[position].origin
+            fields.append(Field(name, infer_type(expr, child.schema),
+                                origin=origin))
+        self.schema = PlanSchema(fields)
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        body = ", ".join(f"{expr.to_sql()} AS {name}"
+                         for expr, name in self.items)
+        return f"Project({body})"
+
+
+class LogicalJoin(LogicalNode):
+    """Inner or left join; ``condition`` of None means cross join."""
+
+    def __init__(self, left: LogicalNode, right: LogicalNode,
+                 kind: str = "inner", condition: Expr | None = None) -> None:
+        if kind not in ("inner", "left"):
+            raise PlanningError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.condition = condition
+        self.schema = left.schema.concat(right.schema)
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        condition = self.condition.to_sql() if self.condition else "TRUE"
+        return f"Join[{self.kind}]({condition})"
+
+
+class LogicalSemiJoin(LogicalNode):
+    """``left WHERE left_expr [NOT] IN (right plan's single column)``."""
+
+    def __init__(self, left: LogicalNode, right: LogicalNode,
+                 left_expr: Expr, negated: bool = False) -> None:
+        if len(right.schema) != 1:
+            raise PlanningError(
+                "IN subquery must produce exactly one column, got "
+                f"{len(right.schema)}")
+        self.left = left
+        self.right = right
+        self.left_expr = left_expr
+        self.negated = negated
+        self.schema = left.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"SemiJoin({self.left_expr.to_sql()} {keyword} ...)"
+
+
+class LogicalAggregate(LogicalNode):
+    """Hash aggregation over group keys with aggregate outputs.
+
+    Output schema: the group fields (in order) followed by the aggregate
+    fields.
+    """
+
+    def __init__(self, child: LogicalNode,
+                 group: Sequence[tuple[Expr, str]],
+                 aggregates: Sequence[tuple[AggregateCall, str]]) -> None:
+        self.child = child
+        self.group = [(expr, name.lower()) for expr, name in group]
+        self.aggregates = [(call, name.lower()) for call, name in aggregates]
+        fields = []
+        for expr, name in self.group:
+            origin = None
+            if isinstance(expr, ColumnRef):
+                position = child.schema.resolve(expr.qualifier, expr.name)
+                origin = child.schema.fields[position].origin
+            fields.append(Field(name, infer_type(expr, child.schema),
+                                origin=origin))
+        fields.extend(Field(name, infer_type(call, child.schema))
+                      for call, name in self.aggregates)
+        self.schema = PlanSchema(fields)
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(name for _, name in self.group)
+        aggs = ", ".join(f"{call.to_sql()} AS {name}"
+                         for call, name in self.aggregates)
+        return f"Aggregate(keys=[{keys}], aggs=[{aggs}])"
+
+
+class LogicalWindow(LogicalNode):
+    """Appends one computed column per window function.
+
+    All functions in one node must share the same PARTITION BY / ORDER BY
+    keys (the builder groups compatible specs together); this models the
+    paper's observation that rules sharing an ordering share one sort.
+    """
+
+    def __init__(self, child: LogicalNode,
+                 functions: Sequence[tuple[WindowFunction, str]]) -> None:
+        if not functions:
+            raise PlanningError("window node requires at least one function")
+        first = functions[0][0]
+        for call, _ in functions[1:]:
+            if call.partition_by != first.partition_by \
+                    or call.order_by != first.order_by:
+                raise PlanningError(
+                    "all window functions in one Window node must share "
+                    "PARTITION BY and ORDER BY")
+        self.child = child
+        self.functions = [(call, name.lower()) for call, name in functions]
+        schema = child.schema
+        for call, name in self.functions:
+            schema = schema.append(Field(name, infer_type(call, child.schema)))
+        self.schema = schema
+
+    @property
+    def partition_by(self) -> tuple[Expr, ...]:
+        return self.functions[0][0].partition_by
+
+    @property
+    def order_by(self) -> tuple[SortSpec, ...]:
+        return self.functions[0][0].order_by
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        body = ", ".join(f"{call.to_sql()} AS {name}"
+                         for call, name in self.functions)
+        return f"Window({body})"
+
+
+class LogicalDistinct(LogicalNode):
+    """Duplicate elimination over whole rows."""
+
+    def __init__(self, child: LogicalNode) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+class LogicalUnion(LogicalNode):
+    """UNION (ALL) of two inputs with compatible arity."""
+
+    def __init__(self, left: LogicalNode, right: LogicalNode,
+                 all_rows: bool) -> None:
+        if len(left.schema) != len(right.schema):
+            raise PlanningError(
+                f"UNION arity mismatch: {len(left.schema)} vs "
+                f"{len(right.schema)} columns")
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+        self.schema = left.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "UnionAll" if self.all_rows else "Union"
+
+
+class LogicalSort(LogicalNode):
+    """Total order by the given sort keys."""
+
+    def __init__(self, child: LogicalNode, keys: Sequence[SortSpec]) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        body = ", ".join(spec.to_sql() for spec in self.keys)
+        return f"Sort({body})"
+
+
+class LogicalLimit(LogicalNode):
+    """First *count* rows of the input."""
+
+    def __init__(self, child: LogicalNode, count: int) -> None:
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+
+class LogicalRequalify(LogicalNode):
+    """Re-binds a subplan's output columns under one qualifier.
+
+    Used for derived tables and CTE references: ``(SELECT ...) v1`` makes
+    every output column addressable as ``v1.column``.
+    """
+
+    def __init__(self, child: LogicalNode, binding: str) -> None:
+        self.child = child
+        self.binding = binding.lower()
+        self.schema = child.schema.requalify(self.binding)
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"As({self.binding})"

@@ -1,0 +1,574 @@
+"""Physical (executable) plan operators.
+
+Operators are pull-based: ``rows()`` yields output tuples. Each operator
+carries:
+
+* ``schema`` — its output :class:`PlanSchema`;
+* ``estimated_rows`` / ``estimated_cost`` — filled in by the planner's
+  cost model and surfaced through EXPLAIN (the rewrite engine compares
+  root costs of candidate rewrites, as the paper does with DB2's
+  estimates);
+* ``ordering`` — the output order the operator *guarantees*, as a tuple
+  of ``(column position, ascending)`` pairs. The planner uses it to skip
+  redundant sorts (the paper's "order sharing" between cleansing windows
+  and query windows);
+* ``actual_rows`` — incremented during execution, for EXPLAIN-ANALYZE
+  style inspection and for the benchmark harness's work metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ExecutionError
+from repro.minidb.expressions import Expr
+from repro.minidb.index import IndexRange, SortedIndex
+from repro.minidb.plan.planschema import PlanSchema
+from repro.minidb.table import Table
+from repro.minidb.types import sort_key
+
+__all__ = [
+    "PhysicalNode",
+    "SeqScan",
+    "IndexRangeScan",
+    "FilterOp",
+    "ProjectOp",
+    "HashJoinOp",
+    "NestedLoopJoinOp",
+    "SemiJoinOp",
+    "SortOp",
+    "AggregateOp",
+    "DistinctOp",
+    "UnionAllOp",
+    "LimitOp",
+    "Ordering",
+]
+
+#: A guaranteed output order: ((column position, ascending), ...).
+Ordering = tuple[tuple[int, bool], ...]
+
+
+class PhysicalNode:
+    """Base class for executable operators."""
+
+    schema: PlanSchema
+    ordering: Ordering = ()
+    estimated_rows: float = 0.0
+    estimated_cost: float = 0.0
+
+    def __init__(self) -> None:
+        self.actual_rows = 0
+
+    def inputs(self) -> Sequence["PhysicalNode"]:
+        return ()
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, depth: int = 0, analyze: bool = False) -> str:
+        """Render this subtree as indented EXPLAIN text.
+
+        With ``analyze=True`` (after executing the plan) each line also
+        reports the rows the operator actually produced, EXPLAIN ANALYZE
+        style.
+        """
+        line = (f"{'  ' * depth}{self.label()}  "
+                f"[rows={self.estimated_rows:.0f} "
+                f"cost={self.estimated_cost:.0f}]")
+        if analyze:
+            line += f" (actual rows={self.actual_rows})"
+        parts = [line]
+        parts.extend(child.explain(depth + 1, analyze)
+                     for child in self.inputs())
+        return "\n".join(parts)
+
+    def walk(self) -> Iterator["PhysicalNode"]:
+        yield self
+        for child in self.inputs():
+            yield from child.walk()
+
+
+class SeqScan(PhysicalNode):
+    """Full scan of a stored table in insertion order."""
+
+    def __init__(self, table: Table, schema: PlanSchema) -> None:
+        super().__init__()
+        self.table = table
+        self.schema = schema
+
+    def rows(self) -> Iterator[tuple]:
+        for row in self.table.rows:
+            self.actual_rows += 1
+            yield row
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name})"
+
+
+class IndexRangeScan(PhysicalNode):
+    """Range scan through a sorted index; output is ordered by the key."""
+
+    def __init__(self, table: Table, schema: PlanSchema,
+                 index: SortedIndex, key_range: IndexRange) -> None:
+        super().__init__()
+        self.table = table
+        self.schema = schema
+        self.index = index
+        self.key_range = key_range
+        key_position = table.schema.position_of(index.column)
+        self.ordering = ((key_position, True),)
+
+    def rows(self) -> Iterator[tuple]:
+        table_rows = self.table.rows
+        for position in self.index.scan(self.key_range):
+            self.actual_rows += 1
+            yield table_rows[position]
+
+    def label(self) -> str:
+        return (f"IndexRangeScan({self.table.name}.{self.index.column} "
+                f"{self.key_range!r})")
+
+
+class FilterOp(PhysicalNode):
+    """Keeps rows where the bound predicate evaluates to TRUE."""
+
+    def __init__(self, child: PhysicalNode, predicate: Expr,
+                 bound: Callable[[tuple], Any]) -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+        self._bound = bound
+        self.schema = child.schema
+        self.ordering = child.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        bound = self._bound
+        for row in self.child.rows():
+            if bound(row) is True:
+                self.actual_rows += 1
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+class ProjectOp(PhysicalNode):
+    """Computes the output row from bound expressions.
+
+    ``passthrough`` maps output positions to input positions for items
+    that are plain column references; it is used to translate the input's
+    ordering property through the projection.
+    """
+
+    def __init__(self, child: PhysicalNode, schema: PlanSchema,
+                 bound_items: Sequence[Callable[[tuple], Any]],
+                 passthrough: dict[int, int]) -> None:
+        super().__init__()
+        self.child = child
+        self.schema = schema
+        self._bound_items = list(bound_items)
+        ordering: list[tuple[int, bool]] = []
+        inverse = {inp: out for out, inp in passthrough.items()}
+        for position, ascending in child.ordering:
+            if position not in inverse:
+                break
+            ordering.append((inverse[position], ascending))
+        self.ordering = tuple(ordering)
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        bound_items = self._bound_items
+        for row in self.child.rows():
+            self.actual_rows += 1
+            yield tuple(item(row) for item in bound_items)
+
+    def label(self) -> str:
+        return f"Project({', '.join(f.display() for f in self.schema)})"
+
+
+class HashJoinOp(PhysicalNode):
+    """Equi-join: builds a hash table on the right input.
+
+    ``residual`` (if any) is applied to joined rows for non-equi
+    conjuncts. Left join emits left rows with NULL padding when no match
+    survives the residual.
+    """
+
+    def __init__(self, left: PhysicalNode, right: PhysicalNode,
+                 schema: PlanSchema,
+                 left_keys: Sequence[Callable[[tuple], Any]],
+                 right_keys: Sequence[Callable[[tuple], Any]],
+                 kind: str,
+                 residual: Callable[[tuple], Any] | None,
+                 residual_expr: Expr | None) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.schema = schema
+        self._left_keys = list(left_keys)
+        self._right_keys = list(right_keys)
+        self.kind = kind
+        self._residual = residual
+        self.residual_expr = residual_expr
+        self.ordering = left.ordering  # probe side preserves its order
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        right_keys = self._right_keys
+        for row in self.right.rows():
+            key = tuple(key(row) for key in right_keys)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(row)
+        left_keys = self._left_keys
+        residual = self._residual
+        null_pad = (None,) * len(self.right.schema)
+        for left_row in self.left.rows():
+            key = tuple(key(left_row) for key in left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for right_row in table.get(key, ()):
+                    joined = left_row + right_row
+                    if residual is not None and residual(joined) is not True:
+                        continue
+                    matched = True
+                    self.actual_rows += 1
+                    yield joined
+            if not matched and self.kind == "left":
+                self.actual_rows += 1
+                yield left_row + null_pad
+
+    def label(self) -> str:
+        return f"HashJoin[{self.kind}]"
+
+
+class NestedLoopJoinOp(PhysicalNode):
+    """Fallback join for non-equi or cross joins (right side buffered)."""
+
+    def __init__(self, left: PhysicalNode, right: PhysicalNode,
+                 schema: PlanSchema,
+                 condition: Callable[[tuple], Any] | None,
+                 condition_expr: Expr | None,
+                 kind: str) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.schema = schema
+        self._condition = condition
+        self.condition_expr = condition_expr
+        self.kind = kind
+        self.ordering = left.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[tuple]:
+        right_rows = list(self.right.rows())
+        condition = self._condition
+        null_pad = (None,) * len(self.right.schema)
+        for left_row in self.left.rows():
+            matched = False
+            for right_row in right_rows:
+                joined = left_row + right_row
+                if condition is not None and condition(joined) is not True:
+                    continue
+                matched = True
+                self.actual_rows += 1
+                yield joined
+            if not matched and self.kind == "left":
+                self.actual_rows += 1
+                yield left_row + null_pad
+
+    def label(self) -> str:
+        condition = (self.condition_expr.to_sql()
+                     if self.condition_expr is not None else "TRUE")
+        return f"NestedLoopJoin[{self.kind}]({condition})"
+
+
+class SemiJoinOp(PhysicalNode):
+    """Filters left rows by membership of a key in the right input.
+
+    NOT IN follows SQL semantics: if the right side contains any NULL,
+    no row qualifies; left keys that are NULL never qualify.
+    """
+
+    def __init__(self, left: PhysicalNode, right: PhysicalNode,
+                 left_expr: Expr,
+                 bound_left: Callable[[tuple], Any],
+                 negated: bool) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.left_expr = left_expr
+        self._bound_left = bound_left
+        self.negated = negated
+        self.schema = left.schema
+        self.ordering = left.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[tuple]:
+        members: set = set()
+        saw_null = False
+        for row in self.right.rows():
+            value = row[0]
+            if value is None:
+                saw_null = True
+            else:
+                members.add(value)
+        if self.negated and saw_null:
+            return
+        bound_left = self._bound_left
+        negated = self.negated
+        for row in self.left.rows():
+            value = bound_left(row)
+            if value is None:
+                continue
+            if (value in members) != negated:
+                self.actual_rows += 1
+                yield row
+
+    def label(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"SemiJoin({self.left_expr.to_sql()} {keyword} ...)"
+
+
+class SortOp(PhysicalNode):
+    """Full sort; NULLs order first on every key."""
+
+    def __init__(self, child: PhysicalNode,
+                 keys: Sequence[tuple[Callable[[tuple], Any], bool]],
+                 ordering: Ordering) -> None:
+        super().__init__()
+        self.child = child
+        self._keys = list(keys)
+        self.schema = child.schema
+        self.ordering = ordering
+        self.sorted_rows = 0
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        buffered = list(self.child.rows())
+        self.sorted_rows = len(buffered)
+        # Stable multi-key sort: apply keys from last to first.
+        for key, ascending in reversed(self._keys):
+            buffered.sort(key=lambda row: sort_key(key(row)),
+                          reverse=not ascending)
+        for row in buffered:
+            self.actual_rows += 1
+            yield row
+
+    def label(self) -> str:
+        body = ", ".join(f"#{position}{'' if asc else ' DESC'}"
+                         for position, asc in self.ordering)
+        return f"Sort({body})"
+
+
+class _AggState:
+    """Accumulator for one aggregate call within one group."""
+
+    __slots__ = ("name", "distinct", "count", "total", "extreme", "seen")
+
+    def __init__(self, name: str, distinct: bool) -> None:
+        self.name = name
+        self.distinct = distinct
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self.seen: set | None = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.name in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.name == "min":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif self.name == "max":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self) -> Any:
+        if self.name == "count":
+            return self.count
+        if self.name == "sum":
+            return self.total
+        if self.name == "avg":
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        return self.extreme
+
+
+class AggregateOp(PhysicalNode):
+    """Hash aggregation: group keys followed by aggregate results.
+
+    Aggregate specs are ``(name, bound_argument_or_None, distinct)``;
+    ``count(*)`` passes a None argument and counts every row.
+    """
+
+    def __init__(self, child: PhysicalNode, schema: PlanSchema,
+                 group_keys: Sequence[Callable[[tuple], Any]],
+                 aggregate_specs: Sequence[
+                     tuple[str, Callable[[tuple], Any] | None, bool]],
+                 ) -> None:
+        super().__init__()
+        self.child = child
+        self.schema = schema
+        self._group_keys = list(group_keys)
+        self._aggregate_specs = list(aggregate_specs)
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        groups: dict[tuple, list[_AggState]] = {}
+        group_keys = self._group_keys
+        specs = self._aggregate_specs
+        for row in self.child.rows():
+            key = tuple(key(row) for key in group_keys)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(name, distinct)
+                          for name, _, distinct in specs]
+                groups[key] = states
+            for state, (name, argument, _) in zip(states, specs):
+                if argument is None:  # count(*)
+                    state.count += 1
+                else:
+                    state.add(argument(row))
+        if not groups and not group_keys:
+            # Global aggregate over an empty input yields one row.
+            states = [_AggState(name, distinct) for name, _, distinct in specs]
+            groups[()] = states
+        for key, states in groups.items():
+            self.actual_rows += 1
+            yield key + tuple(state.result() for state in states)
+
+    def label(self) -> str:
+        return (f"Aggregate(groups={len(self._group_keys)}, "
+                f"aggs={len(self._aggregate_specs)})")
+
+
+class DistinctOp(PhysicalNode):
+    """Whole-row duplicate elimination preserving first occurrence."""
+
+    def __init__(self, child: PhysicalNode) -> None:
+        super().__init__()
+        self.child = child
+        self.schema = child.schema
+        self.ordering = child.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows():
+            if row in seen:
+                continue
+            seen.add(row)
+            self.actual_rows += 1
+            yield row
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+class UnionAllOp(PhysicalNode):
+    """Concatenation of two inputs."""
+
+    def __init__(self, left: PhysicalNode, right: PhysicalNode) -> None:
+        super().__init__()
+        if len(left.schema) != len(right.schema):
+            raise ExecutionError("UNION arity mismatch")
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[tuple]:
+        for row in self.left.rows():
+            self.actual_rows += 1
+            yield row
+        for row in self.right.rows():
+            self.actual_rows += 1
+            yield row
+
+    def label(self) -> str:
+        return "UnionAll"
+
+
+class PassThroughOp(PhysicalNode):
+    """Re-labels a child's output schema without touching rows.
+
+    Used for derived-table / CTE aliasing (LogicalRequalify): positions
+    and values are unchanged, only qualifiers differ.
+    """
+
+    def __init__(self, child: PhysicalNode, schema: PlanSchema,
+                 name: str) -> None:
+        super().__init__()
+        self.child = child
+        self.schema = schema
+        self.name = name
+        self.ordering = child.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        return self.child.rows()
+
+    def label(self) -> str:
+        return f"As({self.name})"
+
+
+class LimitOp(PhysicalNode):
+    """Stops after *count* rows."""
+
+    def __init__(self, child: PhysicalNode, count: int) -> None:
+        super().__init__()
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+        self.ordering = child.ordering
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[tuple]:
+        if self.count <= 0:
+            return
+        emitted = 0
+        for row in self.child.rows():
+            self.actual_rows += 1
+            yield row
+            emitted += 1
+            if emitted >= self.count:
+                return
+
+    def label(self) -> str:
+        return f"Limit({self.count})"

@@ -1,0 +1,126 @@
+"""Qualified output schemas for plan nodes.
+
+Unlike a stored :class:`~repro.minidb.schema.TableSchema`, a plan node's
+output schema carries a *qualifier* per field (the table binding the
+field came from) so that expressions like ``c.rtime`` can be resolved
+against join outputs where two inputs may both have an ``rtime`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import PlanningError
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.types import SqlType
+
+__all__ = ["Field", "PlanSchema"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One output field: an optional qualifier, a name, and a type.
+
+    ``origin`` traces the field back to a stored ``(table, column)`` when
+    the field is a pass-through of a base-table column; the optimizer
+    uses it to look up statistics and candidate indexes. Computed fields
+    have ``origin=None``.
+    """
+
+    name: str
+    sql_type: SqlType
+    qualifier: str | None = None
+    origin: tuple[str, str] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+        if self.qualifier is not None:
+            object.__setattr__(self, "qualifier", self.qualifier.lower())
+
+    def display(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def with_name(self, name: str) -> "Field":
+        return Field(name, self.sql_type, self.qualifier, self.origin)
+
+
+class PlanSchema:
+    """An ordered list of :class:`Field` with qualified-name resolution."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Iterable[Field]) -> None:
+        self.fields: tuple[Field, ...] = tuple(fields)
+
+    @classmethod
+    def from_table(cls, schema: TableSchema, binding: str,
+                   table_name: str | None = None) -> "PlanSchema":
+        """Qualify every column of a stored table with its binding name."""
+        return cls(Field(column.name, column.sql_type, binding,
+                         origin=(table_name or binding, column.name))
+                   for column in schema)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __repr__(self) -> str:
+        return f"PlanSchema({', '.join(f.display() for f in self.fields)})"
+
+    def resolve(self, qualifier: str | None, name: str) -> int:
+        """Position of the field ``qualifier.name``.
+
+        Unqualified lookups must match exactly one field name across the
+        whole schema; ambiguity is a planning error, as in SQL.
+        """
+        name = name.lower()
+        if qualifier is not None:
+            qualifier = qualifier.lower()
+            for position, field in enumerate(self.fields):
+                if field.qualifier == qualifier and field.name == name:
+                    return position
+            raise PlanningError(
+                f"no column {qualifier}.{name}; available: "
+                f"{', '.join(f.display() for f in self.fields)}")
+        matches = [position for position, field in enumerate(self.fields)
+                   if field.name == name]
+        if not matches:
+            raise PlanningError(
+                f"no column {name}; available: "
+                f"{', '.join(f.display() for f in self.fields)}")
+        if len(matches) > 1:
+            raise PlanningError(f"ambiguous column reference {name!r}")
+        return matches[0]
+
+    def resolver(self):
+        """An expression-binding resolver closure over this schema."""
+        return self.resolve
+
+    def has(self, qualifier: str | None, name: str) -> bool:
+        try:
+            self.resolve(qualifier, name)
+        except PlanningError:
+            return False
+        return True
+
+    def concat(self, other: "PlanSchema") -> "PlanSchema":
+        return PlanSchema((*self.fields, *other.fields))
+
+    def requalify(self, binding: str) -> "PlanSchema":
+        """All fields re-qualified under one binding (derived tables)."""
+        return PlanSchema(Field(field.name, field.sql_type, binding,
+                                field.origin)
+                          for field in self.fields)
+
+    def append(self, field: Field) -> "PlanSchema":
+        return PlanSchema((*self.fields, field))
+
+    def to_table_schema(self) -> TableSchema:
+        """Strip qualifiers; requires unique field names."""
+        return TableSchema(Column(field.name, field.sql_type)
+                           for field in self.fields)

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, and recursive-descent parser."""
+
+from repro.minidb.sqlparse.parser import parse_expression, parse_select, parse_sql
+
+__all__ = ["parse_select", "parse_expression", "parse_sql"]

@@ -1,0 +1,255 @@
+"""Statement-level AST for the minidb SQL dialect.
+
+Scalar expressions reuse the nodes in :mod:`repro.minidb.expressions`;
+this module adds the SELECT statement shape: CTEs, select items, table
+references (base tables, derived tables, joins), grouping, ordering and
+set operations. Every node can render itself back to SQL via ``to_sql``,
+which is exercised round-trip in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minidb.expressions import Expr, SortSpec
+
+__all__ = [
+    "SelectItem",
+    "TableRef",
+    "TableName",
+    "DerivedTable",
+    "JoinRef",
+    "SelectStmt",
+    "Cte",
+    "SetOp",
+    "CreateTableStmt",
+    "CreateIndexStmt",
+    "InsertStmt",
+    "DropTableStmt",
+]
+
+
+@dataclass
+class SelectItem:
+    """One entry of a select list: an expression and optional alias.
+
+    A bare ``*`` or ``alias.*`` is represented with ``star=True`` (and
+    ``qualifier`` set for the qualified form); ``expr`` is None then.
+    """
+
+    expr: Expr | None = None
+    alias: str | None = None
+    star: bool = False
+    qualifier: str | None = None
+
+    def to_sql(self) -> str:
+        if self.star:
+            return f"{self.qualifier}.*" if self.qualifier else "*"
+        body = self.expr.to_sql()
+        if self.alias:
+            return f"{body} AS {self.alias}"
+        return body
+
+
+class TableRef:
+    """Base class for FROM-clause items."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class TableName(TableRef):
+    """A base table (or CTE) reference with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        if self.alias is not None:
+            self.alias = self.alias.lower()
+
+    @property
+    def binding(self) -> str:
+        """The name this reference is known by in the query scope."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        if self.alias and self.alias != self.name:
+            return f"{self.name} {self.alias}"
+        return self.name
+
+
+@dataclass
+class DerivedTable(TableRef):
+    """``(SELECT ...) alias`` in a FROM clause."""
+
+    select: "SelectStmt"
+    alias: str
+
+    def __post_init__(self) -> None:
+        self.alias = self.alias.lower()
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def to_sql(self) -> str:
+        return f"({self.select.to_sql()}) {self.alias}"
+
+
+@dataclass
+class JoinRef(TableRef):
+    """An explicit ``left [INNER|LEFT] JOIN right ON condition``."""
+
+    left: TableRef
+    right: TableRef
+    kind: str = "inner"  # "inner" | "left"
+    condition: Expr | None = None
+
+    def to_sql(self) -> str:
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN"}[self.kind]
+        clause = f"{self.left.to_sql()} {keyword} {self.right.to_sql()}"
+        if self.condition is not None:
+            clause += f" ON {self.condition.to_sql()}"
+        return clause
+
+
+@dataclass
+class Cte:
+    """One ``name AS (SELECT ...)`` entry of a WITH clause."""
+
+    name: str
+    select: "SelectStmt"
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+
+    def to_sql(self) -> str:
+        return f"{self.name} AS ({self.select.to_sql()})"
+
+
+@dataclass
+class SetOp:
+    """A trailing set operation: ``UNION [ALL] right``."""
+
+    op: str  # "union" | "union_all"
+    right: "SelectStmt"
+
+    def to_sql(self) -> str:
+        keyword = "UNION ALL" if self.op == "union_all" else "UNION"
+        return f"{keyword} {self.right.to_sql()}"
+
+
+@dataclass
+class SelectStmt:
+    """A full SELECT statement."""
+
+    items: list[SelectItem]
+    from_refs: list[TableRef] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[SortSpec] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+    ctes: list[Cte] = field(default_factory=list)
+    set_op: SetOp | None = None
+
+    def to_sql(self) -> str:
+        parts: list[str] = []
+        if self.ctes:
+            body = ", ".join(cte.to_sql() for cte in self.ctes)
+            parts.append(f"WITH {body}")
+        keyword = "SELECT DISTINCT" if self.distinct else "SELECT"
+        select_list = ", ".join(item.to_sql() for item in self.items)
+        parts.append(f"{keyword} {select_list}")
+        if self.from_refs:
+            body = ", ".join(ref.to_sql() for ref in self.from_refs)
+            parts.append(f"FROM {body}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            body = ", ".join(expr.to_sql() for expr in self.group_by)
+            parts.append(f"GROUP BY {body}")
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            body = ", ".join(spec.to_sql() for spec in self.order_by)
+            parts.append(f"ORDER BY {body}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.set_op is not None:
+            parts.append(self.set_op.to_sql())
+        return " ".join(parts)
+
+
+@dataclass
+class CreateTableStmt:
+    """``CREATE TABLE name (col TYPE, ...)``."""
+
+    name: str
+    columns: list  # list[tuple[str, "SqlType"]]
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+
+    def to_sql(self) -> str:
+        body = ", ".join(f"{name} {sql_type.value.upper()}"
+                         for name, sql_type in self.columns)
+        return f"CREATE TABLE {self.name} ({body})"
+
+
+@dataclass
+class CreateIndexStmt:
+    """``CREATE INDEX [name] ON table (column)``."""
+
+    table: str
+    column: str
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.table = self.table.lower()
+        self.column = self.column.lower()
+        if self.name is not None:
+            self.name = self.name.lower()
+
+    def to_sql(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return f"CREATE INDEX{label} ON {self.table} ({self.column})"
+
+
+@dataclass
+class InsertStmt:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: list[str]
+    rows: list[list[Expr]]
+
+    def __post_init__(self) -> None:
+        self.table = self.table.lower()
+        self.columns = [name.lower() for name in self.columns]
+
+    def to_sql(self) -> str:
+        target = self.table
+        if self.columns:
+            target += f" ({', '.join(self.columns)})"
+        body = ", ".join(
+            "(" + ", ".join(value.to_sql() for value in row) + ")"
+            for row in self.rows)
+        return f"INSERT INTO {target} VALUES {body}"
+
+
+@dataclass
+class DropTableStmt:
+    """``DROP TABLE name``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+
+    def to_sql(self) -> str:
+        return f"DROP TABLE {self.name}"

@@ -1,0 +1,158 @@
+"""Tokenizer for the minidb SQL dialect.
+
+Produces a flat list of :class:`Token` objects with line/column positions
+for error messages. Keywords are not reserved at the lexer level — the
+parser decides contextually — but they are normalized to lower case via
+``Token.lower``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenKind"]
+
+
+class TokenKind:
+    """Token categories (plain strings for cheap comparison)."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.line}:{self.column})"
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "||", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),.{}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, raising :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    length = len(text)
+    position = 0
+    line = 1
+    line_start = 0
+
+    def location() -> tuple[int, int]:
+        return line, position - line_start + 1
+
+    while position < length:
+        char = text[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+        current_line, current_column = location()
+        if char.isdigit() or (char == "." and position + 1 < length
+                              and text[position + 1].isdigit()):
+            start = position
+            seen_dot = False
+            seen_exponent = False
+            while position < length:
+                char = text[position]
+                if char.isdigit():
+                    position += 1
+                elif char == "." and not seen_dot and not seen_exponent:
+                    seen_dot = True
+                    position += 1
+                elif char in "eE" and not seen_exponent and position > start:
+                    seen_exponent = True
+                    position += 1
+                    if position < length and text[position] in "+-":
+                        position += 1
+                else:
+                    break
+            tokens.append(Token(TokenKind.NUMBER, text[start:position],
+                                current_line, current_column))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (text[position].isalnum()
+                                         or text[position] == "_"):
+                position += 1
+            tokens.append(Token(TokenKind.IDENT, text[start:position],
+                                current_line, current_column))
+            continue
+        if char == "'":
+            position += 1
+            pieces: list[str] = []
+            while True:
+                if position >= length:
+                    raise SqlSyntaxError("unterminated string literal",
+                                         current_line, current_column)
+                char = text[position]
+                if char == "'":
+                    if text.startswith("''", position):
+                        pieces.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                pieces.append(char)
+                position += 1
+            tokens.append(Token(TokenKind.STRING, "".join(pieces),
+                                current_line, current_column))
+            continue
+        if char == '"':
+            position += 1
+            start = position
+            while position < length and text[position] != '"':
+                position += 1
+            if position >= length:
+                raise SqlSyntaxError("unterminated quoted identifier",
+                                     current_line, current_column)
+            tokens.append(Token(TokenKind.IDENT, text[start:position],
+                                current_line, current_column))
+            position += 1
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenKind.OPERATOR, matched_operator,
+                                current_line, current_column))
+            position += len(matched_operator)
+            continue
+        if char in _PUNCT or char == ";":
+            tokens.append(Token(TokenKind.PUNCT, char,
+                                current_line, current_column))
+            position += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}",
+                             current_line, current_column)
+
+    end_line, end_column = location()
+    tokens.append(Token(TokenKind.END, "", end_line, end_column))
+    return tokens

@@ -1,0 +1,684 @@
+"""Recursive-descent parser for the minidb SQL dialect.
+
+The dialect is the subset exercised by the paper's workload and rule
+templates:
+
+* ``WITH`` common table expressions;
+* ``SELECT [DISTINCT]`` lists with expressions, aliases, ``*`` and
+  qualified stars;
+* ``FROM`` lists with comma joins, ``JOIN``/``LEFT JOIN ... ON``, and
+  derived tables;
+* ``WHERE`` / ``GROUP BY`` / ``HAVING`` / ``ORDER BY`` / ``LIMIT``;
+* scalar expressions with arithmetic, comparisons, ``AND/OR/NOT``,
+  ``BETWEEN``, ``[NOT] IN`` (value lists and subqueries),
+  ``IS [NOT] NULL``, ``LIKE``, ``CASE``, function calls;
+* aggregates (``count/sum/avg/min/max``, ``COUNT(DISTINCT ...)``);
+* SQL/OLAP window functions ``f(x) OVER (PARTITION BY ... ORDER BY ...
+  ROWS|RANGE BETWEEN ... AND ...)``, with interval-aware RANGE bounds
+  (``5 MINUTES PRECEDING``);
+* ``UNION [ALL]``;
+* ``TIMESTAMP '...'`` and ``INTERVAL 'n' unit`` literals.
+
+Time units in intervals and RANGE bounds are converted to seconds, the
+engine's canonical timestamp resolution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.minidb.expressions import (
+    UNBOUNDED,
+    AggregateCall,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    SortSpec,
+    UnaryOp,
+    WindowFrame,
+    WindowFunction,
+)
+from repro.minidb.sqlparse.ast import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropTableStmt,
+    InsertStmt,
+    Cte,
+    DerivedTable,
+    JoinRef,
+    SelectItem,
+    SelectStmt,
+    SetOp,
+    TableName,
+    TableRef,
+)
+from repro.minidb.sqlparse.lexer import Token, TokenKind, tokenize
+from repro.minidb.types import SqlType, parse_timestamp
+
+__all__ = ["parse_select", "parse_expression", "parse_sql", "Parser"]
+
+_AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
+_WINDOW_ONLY_NAMES = {"row_number", "lag", "lead"}
+
+_TIME_UNITS = {
+    "second": 1, "seconds": 1, "sec": 1, "secs": 1,
+    "minute": 60, "minutes": 60, "min": 60, "mins": 60,
+    "hour": 3600, "hours": 3600,
+    "day": 86400, "days": 86400,
+}
+
+# Identifiers that terminate an alias-free table reference or select item.
+_CLAUSE_KEYWORDS = {
+    "from", "where", "group", "having", "order", "limit", "on", "join",
+    "inner", "left", "right", "full", "union", "as", "and", "or", "not",
+    "select", "with", "asc", "desc", "between", "in", "is", "like", "case",
+    "when", "then", "else", "end", "distinct", "by", "over", "rows", "range",
+}
+
+
+class Parser:
+    """Token-cursor with the grammar's recursive-descent productions."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != TokenKind.END:
+            self._position += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.kind == TokenKind.IDENT and token.lower in keywords
+
+    def _match_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._peek()
+        if not self._match_keyword(keyword):
+            raise SqlSyntaxError(
+                f"expected {keyword.upper()!r}, found {token.text!r}",
+                token.line, token.column)
+
+    def _check_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind in (TokenKind.PUNCT, TokenKind.OPERATOR) \
+            and token.text == text
+
+    def _match_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._peek()
+        if not self._match_punct(text):
+            raise SqlSyntaxError(
+                f"expected {text!r}, found {token.text!r}",
+                token.line, token.column)
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        token = self._peek()
+        if token.kind != TokenKind.IDENT:
+            raise SqlSyntaxError(
+                f"expected {what}, found {token.text!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._peek()
+        return SqlSyntaxError(f"{message} (found {token.text!r})",
+                              token.line, token.column)
+
+    # -- statements -----------------------------------------------------
+
+    _TYPE_NAMES = {
+        "integer": SqlType.INTEGER, "int": SqlType.INTEGER,
+        "bigint": SqlType.INTEGER,
+        "double": SqlType.DOUBLE, "float": SqlType.DOUBLE,
+        "real": SqlType.DOUBLE,
+        "varchar": SqlType.VARCHAR, "char": SqlType.VARCHAR,
+        "text": SqlType.VARCHAR,
+        "boolean": SqlType.BOOLEAN, "bool": SqlType.BOOLEAN,
+        "timestamp": SqlType.TIMESTAMP,
+        "interval": SqlType.INTERVAL,
+    }
+
+    def parse_sql(self):
+        """Parse any supported statement: SELECT, CREATE TABLE,
+        CREATE INDEX, or INSERT INTO ... VALUES."""
+        if self._check_keyword("create"):
+            statement = self._parse_create()
+        elif self._check_keyword("insert"):
+            statement = self._parse_insert()
+        elif self._check_keyword("drop"):
+            self._expect_keyword("drop")
+            self._expect_keyword("table")
+            statement = DropTableStmt(
+                self._expect_ident("table name").lower)
+        else:
+            return self.parse_statement()
+        self._match_punct(";")
+        token = self._peek()
+        if token.kind != TokenKind.END:
+            raise SqlSyntaxError(f"trailing input {token.text!r}",
+                                 token.line, token.column)
+        return statement
+
+    def _parse_create(self):
+        self._expect_keyword("create")
+        if self._match_keyword("table"):
+            name = self._expect_ident("table name").lower
+            self._expect_punct("(")
+            columns = []
+            while True:
+                column = self._expect_ident("column name").lower
+                type_token = self._expect_ident("type name")
+                sql_type = self._TYPE_NAMES.get(type_token.lower)
+                if sql_type is None:
+                    raise SqlSyntaxError(
+                        f"unknown type {type_token.text!r}",
+                        type_token.line, type_token.column)
+                if self._match_punct("("):  # VARCHAR(50) etc.
+                    self._advance()
+                    self._expect_punct(")")
+                columns.append((column, sql_type))
+                if not self._match_punct(","):
+                    break
+            self._expect_punct(")")
+            return CreateTableStmt(name, columns)
+        self._expect_keyword("index")
+        index_name = None
+        if not self._check_keyword("on"):
+            index_name = self._expect_ident("index name").lower
+        self._expect_keyword("on")
+        table = self._expect_ident("table name").lower
+        self._expect_punct("(")
+        column = self._expect_ident("column name").lower
+        self._expect_punct(")")
+        return CreateIndexStmt(table, column, index_name)
+
+    def _parse_insert(self):
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident("table name").lower
+        columns: list[str] = []
+        if self._match_punct("("):
+            while True:
+                columns.append(self._expect_ident("column name").lower)
+                if not self._match_punct(","):
+                    break
+            self._expect_punct(")")
+        self._expect_keyword("values")
+        rows: list[list[Expr]] = []
+        while True:
+            self._expect_punct("(")
+            row = [self.parse_expr()]
+            while self._match_punct(","):
+                row.append(self.parse_expr())
+            self._expect_punct(")")
+            rows.append(row)
+            if not self._match_punct(","):
+                break
+        return InsertStmt(table, columns, rows)
+
+    def parse_statement(self) -> SelectStmt:
+        statement = self.parse_select()
+        self._match_punct(";")
+        token = self._peek()
+        if token.kind != TokenKind.END:
+            raise SqlSyntaxError(f"trailing input {token.text!r}",
+                                 token.line, token.column)
+        return statement
+
+    def parse_select(self) -> SelectStmt:
+        ctes: list[Cte] = []
+        if self._match_keyword("with"):
+            while True:
+                name = self._expect_ident("CTE name").lower
+                self._expect_keyword("as")
+                self._expect_punct("(")
+                ctes.append(Cte(name, self.parse_select()))
+                self._expect_punct(")")
+                if not self._match_punct(","):
+                    break
+        statement = self._parse_select_core()
+        statement.ctes = ctes
+        if self._check_keyword("union"):
+            self._advance()
+            op = "union_all" if self._match_keyword("all") else "union"
+            statement.set_op = SetOp(op, self.parse_select())
+        return statement
+
+    def _parse_select_core(self) -> SelectStmt:
+        self._expect_keyword("select")
+        distinct = bool(self._match_keyword("distinct"))
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+        from_refs: list[TableRef] = []
+        if self._match_keyword("from"):
+            from_refs.append(self._parse_table_ref())
+            while self._match_punct(","):
+                from_refs.append(self._parse_table_ref())
+        where = self.parse_expr() if self._match_keyword("where") else None
+        group_by: list[Expr] = []
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self._match_punct(","):
+                group_by.append(self.parse_expr())
+        having = self.parse_expr() if self._match_keyword("having") else None
+        order_by: list[SortSpec] = []
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_sort_spec())
+            while self._match_punct(","):
+                order_by.append(self._parse_sort_spec())
+        limit = None
+        if self._match_keyword("limit"):
+            token = self._advance()
+            if token.kind != TokenKind.NUMBER:
+                raise SqlSyntaxError("LIMIT expects a number",
+                                     token.line, token.column)
+            limit = int(token.text)
+        return SelectStmt(items=items, from_refs=from_refs, where=where,
+                          group_by=group_by, having=having, order_by=order_by,
+                          limit=limit, distinct=distinct)
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._check_punct("*"):
+            self._advance()
+            return SelectItem(star=True)
+        # qualified star:  alias.*
+        if self._peek().kind == TokenKind.IDENT \
+                and self._peek(1).text == "." and self._peek(2).text == "*":
+            qualifier = self._advance().lower
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(star=True, qualifier=qualifier)
+        expr = self.parse_expr()
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident("column alias").lower
+        elif self._peek().kind == TokenKind.IDENT \
+                and self._peek().lower not in _CLAUSE_KEYWORDS:
+            alias = self._advance().lower
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_sort_spec(self) -> SortSpec:
+        expr = self.parse_expr()
+        ascending = True
+        if self._match_keyword("desc"):
+            ascending = False
+        else:
+            self._match_keyword("asc")
+        return SortSpec(expr, ascending)
+
+    # -- table references -----------------------------------------------
+
+    def _parse_table_ref(self) -> TableRef:
+        ref = self._parse_primary_ref()
+        while True:
+            if self._match_keyword("join"):
+                kind = "inner"
+            elif self._check_keyword("inner") and self._peek(1).lower == "join":
+                self._advance()
+                self._advance()
+                kind = "inner"
+            elif self._check_keyword("left"):
+                self._advance()
+                self._match_keyword("outer")
+                self._expect_keyword("join")
+                kind = "left"
+            else:
+                return ref
+            right = self._parse_primary_ref()
+            self._expect_keyword("on")
+            condition = self.parse_expr()
+            ref = JoinRef(ref, right, kind, condition)
+
+    def _parse_primary_ref(self) -> TableRef:
+        if self._match_punct("("):
+            select = self.parse_select()
+            self._expect_punct(")")
+            self._match_keyword("as")
+            alias = self._expect_ident("derived-table alias").lower
+            return DerivedTable(select, alias)
+        name = self._expect_ident("table name").lower
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident("table alias").lower
+        elif self._peek().kind == TokenKind.IDENT \
+                and self._peek().lower not in _CLAUSE_KEYWORDS:
+            alias = self._advance().lower
+        return TableName(name, alias)
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._match_keyword("or"):
+            expr = BinaryOp("or", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_not()
+        while self._match_keyword("and"):
+            expr = BinaryOp("and", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expr:
+        if self._match_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        expr = self._parse_additive()
+        token = self._peek()
+        if token.kind == TokenKind.OPERATOR \
+                and token.text in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            return BinaryOp(token.text, expr, self._parse_additive())
+        negated = False
+        if self._check_keyword("not") and self._peek(1).lower in (
+                "in", "between", "like"):
+            self._advance()
+            negated = True
+        if self._match_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            between = BinaryOp("and",
+                               BinaryOp(">=", expr, low),
+                               BinaryOp("<=", expr, high))
+            return UnaryOp("not", between) if negated else between
+        if self._match_keyword("in"):
+            return self._parse_in(expr, negated)
+        if self._match_keyword("like"):
+            pattern = self._parse_additive()
+            call = FuncCall("like", (expr, pattern))
+            return UnaryOp("not", call) if negated else call
+        if self._match_keyword("is"):
+            is_not = bool(self._match_keyword("not"))
+            self._expect_keyword("null")
+            return IsNull(expr, negated=is_not)
+        return expr
+
+    def _parse_in(self, operand: Expr, negated: bool) -> Expr:
+        self._expect_punct("(")
+        if self._check_keyword("select", "with"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return InSubquery(operand, subquery, negated)
+        items = [self.parse_expr()]
+        while self._match_punct(","):
+            items.append(self.parse_expr())
+        self._expect_punct(")")
+        return InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.OPERATOR and token.text in ("+", "-"):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.OPERATOR and token.text in ("*", "/"):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._check_punct("-"):
+            self._advance()
+            operand = self._parse_unary()
+            # Fold negation into numeric literals so "-1" round-trips as
+            # Literal(-1) and linear analysis sees plain constants.
+            if isinstance(operand, Literal) \
+                    and isinstance(operand.value, (int, float)) \
+                    and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        if self._check_punct("+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            text = token.text
+            value = float(text) if ("." in text or "e" in text.lower()) \
+                else int(text)
+            return self._maybe_interval(Literal(value))
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if self._match_punct("("):
+            expr = self.parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind != TokenKind.IDENT:
+            raise self._error("expected an expression")
+        lowered = token.lower
+        if lowered == "null":
+            self._advance()
+            return Literal(None)
+        if lowered == "true":
+            self._advance()
+            return Literal(True)
+        if lowered == "false":
+            self._advance()
+            return Literal(False)
+        if lowered == "case":
+            return self._parse_case()
+        if lowered == "timestamp" and self._peek(1).kind == TokenKind.STRING:
+            self._advance()
+            text_token = self._advance()
+            return Literal(parse_timestamp(text_token.text))
+        if lowered == "interval":
+            return self._parse_interval()
+        if self._peek(1).text == "(":
+            return self._parse_call()
+        return self._parse_column_ref()
+
+    def _maybe_interval(self, literal: Literal) -> Literal:
+        """Fold a trailing time unit onto a numeric literal (``5 mins``)."""
+        token = self._peek()
+        if token.kind == TokenKind.IDENT and token.lower in _TIME_UNITS:
+            self._advance()
+            return Literal(literal.value * _TIME_UNITS[token.lower])
+        return literal
+
+    def _parse_interval(self) -> Literal:
+        self._expect_keyword("interval")
+        token = self._advance()
+        if token.kind == TokenKind.STRING:
+            magnitude = float(token.text) if "." in token.text \
+                else int(token.text)
+        elif token.kind == TokenKind.NUMBER:
+            magnitude = float(token.text) if "." in token.text \
+                else int(token.text)
+        else:
+            raise SqlSyntaxError("INTERVAL expects a quantity",
+                                 token.line, token.column)
+        unit_token = self._expect_ident("time unit")
+        if unit_token.lower not in _TIME_UNITS:
+            raise SqlSyntaxError(f"unknown time unit {unit_token.text!r}",
+                                 unit_token.line, unit_token.column)
+        seconds = magnitude * _TIME_UNITS[unit_token.lower]
+        return Literal(int(seconds) if seconds == int(seconds) else seconds)
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self._match_keyword("when"):
+            condition = self.parse_expr()
+            self._expect_keyword("then")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_result = self.parse_expr() if self._match_keyword("else") else None
+        self._expect_keyword("end")
+        return Case(tuple(whens), else_result)
+
+    def _parse_call(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.lower
+        self._expect_punct("(")
+        distinct = False
+        star = False
+        args: list[Expr] = []
+        if self._check_punct("*"):
+            self._advance()
+            star = True
+        elif not self._check_punct(")"):
+            distinct = bool(self._match_keyword("distinct"))
+            args.append(self.parse_expr())
+            while self._match_punct(","):
+                args.append(self.parse_expr())
+        self._expect_punct(")")
+        is_window = self._check_keyword("over")
+        if is_window:
+            self._advance()
+            partition, order, frame = self._parse_window_spec()
+            argument = None if star or not args else args[0]
+            offset = 1
+            if name in ("lag", "lead") and len(args) > 1:
+                if not isinstance(args[1], Literal) \
+                        or not isinstance(args[1].value, int):
+                    raise SqlSyntaxError(
+                        f"{name}() offset must be an integer literal",
+                        name_token.line, name_token.column)
+                offset = args[1].value
+            if name in _WINDOW_ONLY_NAMES or name in _AGGREGATE_NAMES:
+                return WindowFunction(name, argument, tuple(partition),
+                                      tuple(order), frame, offset)
+            raise SqlSyntaxError(
+                f"function {name!r} cannot be used as a window function",
+                name_token.line, name_token.column)
+        if name in _AGGREGATE_NAMES:
+            argument = None if star else args[0] if args else None
+            if name != "count" and argument is None:
+                raise SqlSyntaxError(f"{name}() requires an argument",
+                                     name_token.line, name_token.column)
+            return AggregateCall(name, argument, distinct)
+        if star or distinct:
+            raise SqlSyntaxError(
+                f"{name}() does not accept * or DISTINCT",
+                name_token.line, name_token.column)
+        return FuncCall(name, tuple(args))
+
+    def _parse_window_spec(self) -> tuple[list[Expr], list[SortSpec],
+                                          WindowFrame | None]:
+        self._expect_punct("(")
+        partition: list[Expr] = []
+        order: list[SortSpec] = []
+        frame: WindowFrame | None = None
+        if self._match_keyword("partition"):
+            self._expect_keyword("by")
+            partition.append(self.parse_expr())
+            while self._match_punct(","):
+                partition.append(self.parse_expr())
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order.append(self._parse_sort_spec())
+            while self._match_punct(","):
+                order.append(self._parse_sort_spec())
+        if self._check_keyword("rows", "range"):
+            mode = self._advance().lower
+            if self._match_keyword("between"):
+                start = self._parse_frame_bound(is_start=True)
+                self._expect_keyword("and")
+                end = self._parse_frame_bound(is_start=False)
+            else:
+                # "ROWS n PRECEDING" ==> BETWEEN n PRECEDING AND CURRENT ROW
+                start = self._parse_frame_bound(is_start=True)
+                end = 0
+            frame = WindowFrame(mode, start, end)
+        self._expect_punct(")")
+        return partition, order, frame
+
+    def _parse_frame_bound(self, *, is_start: bool) -> int | float | str:
+        if self._match_keyword("unbounded"):
+            if not self._match_keyword("preceding"):
+                self._expect_keyword("following")
+            return UNBOUNDED
+        if self._match_keyword("current"):
+            self._expect_keyword("row")
+            return 0
+        token = self._advance()
+        if token.kind != TokenKind.NUMBER:
+            raise SqlSyntaxError("expected a frame offset",
+                                 token.line, token.column)
+        offset: int | float = float(token.text) if "." in token.text \
+            else int(token.text)
+        unit_token = self._peek()
+        if unit_token.kind == TokenKind.IDENT \
+                and unit_token.lower in _TIME_UNITS:
+            self._advance()
+            offset *= _TIME_UNITS[unit_token.lower]
+        if self._match_keyword("preceding"):
+            return -offset
+        self._expect_keyword("following")
+        return offset
+
+    def _parse_column_ref(self) -> Expr:
+        first = self._expect_ident("column name").lower
+        if self._check_punct(".") and self._peek(1).kind == TokenKind.IDENT:
+            self._advance()
+            second = self._advance().lower
+            return ColumnRef(second, first)
+        return ColumnRef(first)
+
+
+def parse_select(text: str) -> SelectStmt:
+    """Parse one SELECT statement (raises :class:`SqlSyntaxError`)."""
+    return Parser(text).parse_statement()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone scalar expression (used by the rule language)."""
+    parser = Parser(text)
+    expr = parser.parse_expr()
+    token = parser._peek()
+    if token.kind != TokenKind.END:
+        raise SqlSyntaxError(f"trailing input {token.text!r}",
+                             token.line, token.column)
+    return expr
+
+
+def parse_sql(text: str):
+    """Parse any supported SQL statement (SELECT / CREATE / INSERT)."""
+    return Parser(text).parse_sql()

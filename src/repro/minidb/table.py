@@ -1,0 +1,117 @@
+"""In-memory row storage for minidb tables.
+
+A :class:`Table` owns a list of row tuples in insertion order plus any
+number of single-column :class:`SortedIndex` objects. Rows are validated
+and coerced against the schema at insert time so downstream operators
+never re-check types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import CatalogError, SchemaError
+from repro.minidb.index import SortedIndex
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import coerce_value
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named, schema-validated collection of row tuples."""
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        self.name = name.lower()
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.indexes: dict[str, SortedIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def _coerce_row(self, values: Sequence[Any]) -> tuple:
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(values)}")
+        return tuple(
+            coerce_value(value, column.sql_type)
+            for value, column in zip(values, self.schema))
+
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Insert one row (positional sequence or name -> value mapping)."""
+        if isinstance(values, Mapping):
+            values = [values.get(name) for name in self.schema.names]
+        row = self._coerce_row(values)
+        position = len(self.rows)
+        self.rows.append(row)
+        for index in self.indexes.values():
+            key_position = self.schema.position_of(index.column)
+            index.insert(row[key_position], position)
+
+    def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows; indexes are rebuilt once at the end.
+
+        Returns the number of rows loaded.
+        """
+        loaded = 0
+        append = self.rows.append
+        coerce = self._coerce_row
+        for values in rows:
+            append(coerce(values))
+            loaded += 1
+        for index in self.indexes.values():
+            self._rebuild_index(index)
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str, name: str | None = None) -> SortedIndex:
+        """Create (and build) a sorted index on *column*."""
+        column = column.lower()
+        self.schema.position_of(column)  # validates the column exists
+        index_name = (name or f"idx_{self.name}_{column}").lower()
+        if index_name in self.indexes:
+            raise CatalogError(f"index {index_name!r} already exists")
+        index = SortedIndex(index_name, column)
+        self._rebuild_index(index)
+        self.indexes[index_name] = index
+        return index
+
+    def _rebuild_index(self, index: SortedIndex) -> None:
+        key_position = self.schema.position_of(index.column)
+        index.build(
+            (row[key_position], position)
+            for position, row in enumerate(self.rows))
+
+    def index_on(self, column: str) -> SortedIndex | None:
+        """The first index whose key is *column*, or None."""
+        column = column.lower()
+        for index in self.indexes.values():
+            if index.column == column:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield all rows in insertion order."""
+        return iter(self.rows)
+
+    def column_values(self, name: str) -> Iterator[Any]:
+        """Yield the values of one column across all rows."""
+        position = self.schema.position_of(name)
+        for row in self.rows:
+            yield row[position]

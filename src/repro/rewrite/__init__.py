@@ -1,0 +1,29 @@
+"""Deferred-cleansing query rewriting (Section 5 of the paper).
+
+Given a user query and an ordered list of cleansing rules, produces a
+rewritten query answering Q[C1...Cn] over cleansed data, choosing among:
+
+* the **naive** rewrite (cleanse all of R first);
+* the **expanded** rewrite (Figure 4): push a relaxed condition into R;
+* the **join-back** rewrite: cleanse only the sequences the query needs;
+
+with join-query support (pushing selective dimensions before cleansing)
+and cost-based candidate selection via the minidb optimizer.
+"""
+
+from repro.rewrite.eager import materialize_cleansed
+from repro.rewrite.engine import DeferredCleansingEngine, RewriteResult
+from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
+from repro.rewrite.report import RuleImpact, cleansing_report
+from repro.rewrite.sqlgen import rewritten_sql
+
+__all__ = [
+    "DeferredCleansingEngine",
+    "RewriteResult",
+    "ExpandedAnalysis",
+    "analyze_expanded",
+    "materialize_cleansed",
+    "cleansing_report",
+    "RuleImpact",
+    "rewritten_sql",
+]

@@ -1,0 +1,238 @@
+"""Query analysis for the rewrite engine.
+
+Locates the reads table inside a user query (it may be nested in a CTE
+or derived table, as in the paper's q1), and splits the enclosing
+statement's predicates into:
+
+* ``s`` — conjuncts local to the reads table (unqualified, over R's
+  columns); this is the condition the Figure 4 algorithm binds to the
+  target reference;
+* join edges to dimension tables with their local predicates and
+  estimated selectivities (the inputs to the paper's §5.2/§5.3 join
+  pushdown heuristic);
+* everything else, which stays untouched in the rewritten query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RewriteError
+from repro.minidb.engine import Database
+from repro.minidb.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InSubquery,
+    and_all,
+)
+from repro.minidb.optimizer.cardinality import SelectivityEstimator
+from repro.minidb.plan.builder import split_conjuncts
+from repro.minidb.plan.planschema import PlanSchema
+from repro.minidb.sqlparse.ast import (
+    DerivedTable,
+    JoinRef,
+    SelectItem,
+    SelectStmt,
+    TableName,
+    TableRef,
+)
+
+__all__ = ["DimensionJoin", "QueryContext", "extract_context"]
+
+
+@dataclass
+class DimensionJoin:
+    """An n:1 join edge from the reads table to a dimension table."""
+
+    #: The reads-table join column (unqualified).
+    fact_key: str
+    #: The dimension table reference.
+    table: TableName
+    #: The dimension-side join column (unqualified).
+    dim_key: str
+    #: Conjuncts local to the dimension (qualified with its binding).
+    local_conjuncts: list[Expr] = field(default_factory=list)
+    #: Estimated selectivity of the local conjuncts on the dimension.
+    selectivity: float = 1.0
+
+    def in_conjunct(self) -> InSubquery:
+        """``R.K IN (SELECT Kd FROM D WHERE S_d)`` as an expression.
+
+        The reads-side key is unqualified, matching the ``s`` conjunct
+        convention.
+        """
+        where = and_all([_strip_binding(conjunct, self.table.binding)
+                         for conjunct in self.local_conjuncts])
+        subquery = SelectStmt(
+            items=[SelectItem(expr=ColumnRef(self.dim_key))],
+            from_refs=[TableName(self.table.name)],
+            where=where)
+        return InSubquery(ColumnRef(self.fact_key), subquery)
+
+
+@dataclass
+class QueryContext:
+    """Everything the rewrite strategies need about one query."""
+
+    statement: SelectStmt          # the full user statement
+    target_statement: SelectStmt   # the SELECT that FROMs the reads table
+    table_ref: TableName           # the reads-table reference
+    #: Conjuncts local to the reads table, with qualifiers stripped.
+    s_conjuncts: list[Expr] = field(default_factory=list)
+    #: The original (qualified) forms of ``s_conjuncts``, aligned by index.
+    s_original: list[Expr] = field(default_factory=list)
+    #: Remaining conjuncts of the target statement's WHERE.
+    other_conjuncts: list[Expr] = field(default_factory=list)
+    #: Dimension joins ordered ascending by local-predicate selectivity.
+    dimensions: list[DimensionJoin] = field(default_factory=list)
+
+    @property
+    def binding(self) -> str:
+        return self.table_ref.binding
+
+
+def _strip_binding(expr: Expr, binding: str) -> Expr:
+    mapping = {ref: ColumnRef(ref.name)
+               for ref in expr.referenced_columns()
+               if ref.qualifier == binding}
+    return expr.substitute(mapping)
+
+
+def _flatten_refs(ref: TableRef) -> list[TableRef]:
+    if isinstance(ref, JoinRef):
+        return _flatten_refs(ref.left) + _flatten_refs(ref.right)
+    return [ref]
+
+
+def _join_conditions(ref: TableRef) -> list[Expr]:
+    if isinstance(ref, JoinRef):
+        inherited = _join_conditions(ref.left) + _join_conditions(ref.right)
+        if ref.kind == "inner" and ref.condition is not None:
+            inherited.extend(split_conjuncts(ref.condition))
+        return inherited
+    return []
+
+
+def _statements_containing(statement: SelectStmt, table_name: str,
+                           ) -> list[tuple[SelectStmt, TableName]]:
+    """All (statement, ref) pairs where *table_name* is FROMed directly."""
+    found: list[tuple[SelectStmt, TableName]] = []
+
+    def visit(select: SelectStmt) -> None:
+        for cte in select.ctes:
+            visit(cte.select)
+        for from_ref in select.from_refs:
+            for leaf in _flatten_refs(from_ref):
+                if isinstance(leaf, TableName) and leaf.name == table_name:
+                    found.append((select, leaf))
+                elif isinstance(leaf, DerivedTable):
+                    visit(leaf.select)
+        if select.set_op is not None:
+            visit(select.set_op.right)
+        for conjunct in split_conjuncts(select.where):
+            for node in conjunct.walk():
+                if isinstance(node, InSubquery):
+                    visit(node.subquery)
+
+    visit(statement)
+    return found
+
+
+def extract_context(statement: SelectStmt, table_name: str,
+                    database: Database) -> QueryContext:
+    """Locate the reads table and classify the enclosing predicates.
+
+    Raises :class:`RewriteError` when the table appears other than
+    exactly once (the naive strategy still handles those queries).
+    """
+    table_name = table_name.lower()
+    occurrences = _statements_containing(statement, table_name)
+    if len(occurrences) != 1:
+        raise RewriteError(
+            f"table {table_name!r} appears {len(occurrences)} times in the "
+            "query; the expanded/join-back rewrites require exactly one "
+            "reference")
+    target_statement, table_ref = occurrences[0]
+    context = QueryContext(statement=statement,
+                           target_statement=target_statement,
+                           table_ref=table_ref)
+    reads_table = database.table(table_name)
+    reads_columns = set(reads_table.schema.names)
+
+    sibling_refs = []
+    for from_ref in target_statement.from_refs:
+        sibling_refs.extend(_flatten_refs(from_ref))
+    dim_tables: dict[str, TableName] = {}
+    dim_columns: dict[str, set[str]] = {}
+    for leaf in sibling_refs:
+        if leaf is table_ref:
+            continue
+        if isinstance(leaf, TableName) and leaf.name in database.catalog:
+            dim_tables[leaf.binding] = leaf
+            dim_columns[leaf.binding] = set(
+                database.table(leaf.name).schema.names)
+
+    all_dim_columns = set()
+    for columns in dim_columns.values():
+        all_dim_columns |= columns
+
+    binding = table_ref.binding
+    conjuncts = split_conjuncts(target_statement.where)
+    conjuncts += _join_conditions(target_statement.from_refs[0]) \
+        if target_statement.from_refs else []
+    for from_ref in target_statement.from_refs[1:]:
+        conjuncts += _join_conditions(from_ref)
+
+    dim_locals: dict[str, list[Expr]] = {name: [] for name in dim_tables}
+    join_edges: list[tuple[str, str, str]] = []  # (fact key, dim, dim key)
+
+    for conjunct in conjuncts:
+        qualifiers = set()
+        local_to_reads = True
+        for ref in conjunct.referenced_columns():
+            if ref.qualifier == binding:
+                qualifiers.add(binding)
+            elif ref.qualifier in dim_tables:
+                qualifiers.add(ref.qualifier)
+                local_to_reads = False
+            elif ref.qualifier is None and ref.name in reads_columns \
+                    and ref.name not in all_dim_columns:
+                qualifiers.add(binding)
+            else:
+                qualifiers.add("?")
+                local_to_reads = False
+        if local_to_reads and qualifiers <= {binding}:
+            context.s_original.append(conjunct)
+            context.s_conjuncts.append(_strip_binding(conjunct, binding))
+            continue
+        context.other_conjuncts.append(conjunct)
+        # Join edge detection: R.K = D.Kd
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=" \
+                and isinstance(conjunct.left, ColumnRef) \
+                and isinstance(conjunct.right, ColumnRef):
+            left, right = conjunct.left, conjunct.right
+            if right.qualifier == binding and left.qualifier in dim_tables:
+                left, right = right, left
+            if left.qualifier == binding and right.qualifier in dim_tables:
+                join_edges.append((left.name, right.qualifier, right.name))
+        elif len(qualifiers) == 1:
+            dim_binding = next(iter(qualifiers))
+            if dim_binding in dim_locals:
+                dim_locals[dim_binding].append(conjunct)
+
+    estimator = SelectivityEstimator(database.stats)
+    for fact_key, dim_binding, dim_key in join_edges:
+        dim_ref = dim_tables[dim_binding]
+        dim_table = database.table(dim_ref.name)
+        locals_ = dim_locals.get(dim_binding, [])
+        selectivity = 1.0
+        if locals_:
+            schema = PlanSchema.from_table(dim_table.schema, dim_binding,
+                                           table_name=dim_ref.name)
+            selectivity = estimator.selectivity(and_all(locals_), schema)
+        context.dimensions.append(DimensionJoin(
+            fact_key=fact_key, table=dim_ref, dim_key=dim_key,
+            local_conjuncts=list(locals_), selectivity=selectivity))
+    context.dimensions.sort(key=lambda dim: dim.selectivity)
+    return context

@@ -1,0 +1,294 @@
+"""The deferred-cleansing rewrite engine (architecture steps 3–5).
+
+Intercepts user queries, determines whether any referenced table has
+cleansing rules, enumerates the correct candidate rewrites —
+
+* naive (cleanse all of R),
+* expanded rewrites pushing 0..m derivable dimension restrictions before
+  cleansing (when the Figure 4 analysis is feasible),
+* join-back rewrites pushing 0..n dimension semi-joins into the
+  relevant-sequence subquery (always applicable),
+
+— compiles every candidate through the minidb planner, and executes the
+one with the cheapest cost estimate, exactly mirroring the paper's
+m+1 / n+1 statement-selection heuristic on DB2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RewriteError
+from repro.minidb.engine import Database, ExecutionMetrics
+from repro.minidb.expressions import Expr, InSubquery, and_all
+from repro.minidb.plan.logical import LogicalNode
+from repro.minidb.plan.builder import build_plan
+from repro.minidb.plan.physical import PhysicalNode
+from repro.minidb.result import ResultSet
+from repro.minidb.sqlparse import parse_select
+from repro.minidb.sqlparse.ast import SelectStmt, TableName
+from repro.rewrite.context import QueryContext, extract_context
+from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
+from repro.rewrite.strategies import (
+    expanded_subplan,
+    joinback_subplan,
+    naive_subplan,
+)
+from repro.sqlts.registry import RuleRegistry
+
+__all__ = ["DeferredCleansingEngine", "RewriteResult", "Candidate"]
+
+
+@dataclass
+class Candidate:
+    """One candidate rewrite with its optimizer cost estimate."""
+
+    label: str
+    strategy: str  # "naive" | "expanded" | "joinback" | "passthrough"
+    logical: LogicalNode | None
+    physical: PhysicalNode
+    cost: float
+
+
+@dataclass
+class RewriteResult:
+    """The engine's decision for one query."""
+
+    strategy: str
+    chosen: Candidate
+    candidates: list[Candidate] = field(default_factory=list)
+    analysis: ExpandedAnalysis | None = None
+    context: QueryContext | None = None
+
+    @property
+    def physical(self) -> PhysicalNode:
+        return self.chosen.physical
+
+    def costs(self) -> dict[str, float]:
+        return {candidate.label: candidate.cost
+                for candidate in self.candidates}
+
+
+class DeferredCleansingEngine:
+    """Rewrites and executes queries over rule-governed tables."""
+
+    def __init__(self, database: Database, registry: RuleRegistry) -> None:
+        self.database = database
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+
+    def _referenced_tables(self, statement: SelectStmt) -> set[str]:
+        names: set[str] = set()
+
+        def visit(select: SelectStmt) -> None:
+            for cte in select.ctes:
+                visit(cte.select)
+            from repro.minidb.sqlparse.ast import DerivedTable, JoinRef
+
+            def walk_ref(ref) -> None:
+                if isinstance(ref, TableName):
+                    names.add(ref.name)
+                elif isinstance(ref, DerivedTable):
+                    visit(ref.select)
+                elif isinstance(ref, JoinRef):
+                    walk_ref(ref.left)
+                    walk_ref(ref.right)
+
+            for ref in select.from_refs:
+                walk_ref(ref)
+            if select.where is not None:
+                for node in select.where.walk():
+                    if isinstance(node, InSubquery):
+                        visit(node.subquery)
+            if select.set_op is not None:
+                visit(select.set_op.right)
+
+        visit(statement)
+        return names
+
+    # ------------------------------------------------------------------
+
+    def rewrite(self, query: str | SelectStmt,
+                strategies: set[str] | None = None) -> RewriteResult:
+        """Produce the cheapest correct rewrite of *query*.
+
+        ``strategies`` optionally restricts which families are considered
+        (useful for the benchmark harness: ``{"naive"}``,
+        ``{"expanded"}``, ``{"joinback"}``).
+        """
+        statement = parse_select(query) if isinstance(query, str) else query
+        allowed = strategies or {"naive", "expanded", "joinback"}
+        referenced = self._referenced_tables(statement)
+        dirty = sorted(referenced & self.registry.tables_with_rules())
+        if not dirty:
+            return self._passthrough(statement)
+        if len(dirty) > 1:
+            return self._naive_only(statement, dirty)
+        table_name = dirty[0]
+        try:
+            context = extract_context(statement, table_name, self.database)
+        except RewriteError:
+            return self._naive_only(statement, [table_name])
+        rules = self.registry.rules_for(table_name)
+        reads_columns = set(self.database.table(table_name).schema.names)
+        analysis = analyze_expanded([compiled.rule for compiled in rules],
+                                    context.s_conjuncts, reads_columns)
+        candidates: list[Candidate] = []
+        if "naive" in allowed:
+            subplan = naive_subplan(self.database, self.registry, rules,
+                                    table_name)
+            candidates.append(self._cost_candidate(
+                "naive", "naive", context, subplan,
+                kept_s=context.s_original))
+        if analysis.feasible and "expanded" in allowed:
+            pushable = self._pushable_dimensions(rules, context)
+            kept = self._residual_originals(context, analysis)
+            for count in range(len(pushable) + 1):
+                label = "expanded" if count == 0 \
+                    else f"expanded+{count}dims"
+                subplan = expanded_subplan(
+                    self.database, self.registry, rules, table_name,
+                    analysis.ec_conjuncts, pushable[:count])
+                candidates.append(self._cost_candidate(
+                    label, "expanded", context, subplan, kept_s=kept))
+        if "joinback" in allowed:
+            ec = analysis.ec_conjuncts if analysis.feasible else None
+            kept = (self._residual_originals(context, analysis)
+                    if analysis.feasible else context.s_original)
+            # Conjuncts (and dimension joins) over MODIFY-ed columns must
+            # not restrict the relevant-sequence list: membership can
+            # change under modification. Dropping them only widens the
+            # sequence set, which stays correct.
+            modified = set()
+            for compiled in rules:
+                modified.update(compiled.rule.action.assignments)
+            stable_s = [
+                conjunct for conjunct in context.s_conjuncts
+                if not ({ref.name for ref in conjunct.referenced_columns()}
+                        & modified)]
+            stable_dims = [dimension for dimension in context.dimensions
+                           if dimension.fact_key not in modified]
+            for count in range(len(stable_dims) + 1):
+                label = "joinback" if count == 0 \
+                    else f"joinback+{count}dims"
+                subplan = joinback_subplan(
+                    self.database, self.registry, rules, table_name,
+                    stable_s, ec, stable_dims[:count])
+                candidates.append(self._cost_candidate(
+                    label, "joinback", context, subplan, kept_s=kept))
+        if not candidates:
+            raise RewriteError(
+                "no rewrite strategy produced a candidate (did the "
+                "strategy restriction exclude every feasible one?)")
+        chosen = min(candidates, key=lambda candidate: candidate.cost)
+        return RewriteResult(strategy=chosen.strategy, chosen=chosen,
+                             candidates=candidates, analysis=analysis,
+                             context=context)
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: str | SelectStmt,
+                strategies: set[str] | None = None) -> ResultSet:
+        """Rewrite and run *query*, returning cleansed results."""
+        result = self.rewrite(query, strategies)
+        plan = result.physical
+        rows = list(plan.rows())
+        return ResultSet([f.name for f in plan.schema], rows)
+
+    def execute_with_metrics(
+            self, query: str | SelectStmt,
+            strategies: set[str] | None = None,
+    ) -> tuple[ResultSet, ExecutionMetrics, RewriteResult]:
+        result = self.rewrite(query, strategies)
+        plan = result.physical
+        rows = list(plan.rows())
+        metrics = ExecutionMetrics.from_plan(plan)
+        return (ResultSet([f.name for f in plan.schema], rows), metrics,
+                result)
+
+    # ------------------------------------------------------------------
+
+    def _passthrough(self, statement: SelectStmt) -> RewriteResult:
+        physical = self.database.plan(statement)
+        candidate = Candidate("passthrough", "passthrough",
+                              logical=None, physical=physical,
+                              cost=physical.estimated_cost)
+        return RewriteResult(strategy="passthrough", chosen=candidate,
+                             candidates=[candidate])
+
+    def _naive_only(self, statement: SelectStmt,
+                    dirty_tables: list[str]) -> RewriteResult:
+        table_plans = {}
+        for table_name in dirty_tables:
+            rules = self.registry.rules_for(table_name)
+            table_plans[table_name] = naive_subplan(
+                self.database, self.registry, rules, table_name)
+        logical = build_plan(statement, self.database.catalog,
+                             table_plans=table_plans)
+        physical = self.database.plan(logical)
+        candidate = Candidate("naive", "naive", logical, physical,
+                              physical.estimated_cost)
+        return RewriteResult(strategy="naive", chosen=candidate,
+                             candidates=[candidate])
+
+    def _residual_originals(self, context: QueryContext,
+                            analysis: ExpandedAnalysis) -> list[Expr]:
+        """Map the analysis' residual (unqualified) back to the original
+        qualified conjuncts of the statement's WHERE."""
+        residual = list(analysis.residual)
+        kept: list[Expr] = []
+        for original, stripped in zip(context.s_original,
+                                      context.s_conjuncts):
+            if stripped in residual:
+                kept.append(original)
+        return kept
+
+    def _pushable_dimensions(self, rules, context: QueryContext):
+        """Dimensions whose IN-restriction is derivable on every context
+        reference of every rule (§5.2 join-query support)."""
+        pushable = []
+        for dimension in context.dimensions:
+            conjunct = dimension.in_conjunct()
+            reads_columns = set(
+                self.database.table(context.table_ref.name).schema.names)
+            probe = analyze_expanded(
+                [compiled.rule for compiled in rules],
+                context.s_conjuncts + [conjunct], reads_columns)
+            if not probe.feasible:
+                continue
+            derivable = True
+            for rule_analysis in probe.per_rule:
+                if not rule_analysis.context_conditions:
+                    continue
+                for conjuncts in rule_analysis.context_conditions.values():
+                    if not any(
+                            isinstance(candidate, InSubquery)
+                            and candidate.operand == conjunct.operand
+                            for candidate in conjuncts):
+                        derivable = False
+            if derivable:
+                pushable.append(dimension)
+        return pushable
+
+    def _cost_candidate(self, label: str, strategy: str,
+                        context: QueryContext, subplan: LogicalNode,
+                        kept_s: list[Expr]) -> Candidate:
+        """Splice *subplan* into the query, plan it, record its cost.
+
+        The target statement's WHERE is temporarily rewritten to the
+        non-reads conjuncts plus the kept residual conjuncts (σ_s'),
+        then restored.
+        """
+        target = context.target_statement
+        saved_where = target.where
+        try:
+            target.where = and_all(context.other_conjuncts + kept_s)
+            logical = build_plan(
+                context.statement, self.database.catalog,
+                table_plans={context.table_ref.name: subplan})
+        finally:
+            target.where = saved_where
+        physical = self.database.plan(logical)
+        return Candidate(label, strategy, logical, physical,
+                         physical.estimated_cost)

@@ -1,0 +1,109 @@
+"""Parser for the extended SQL-TS rule grammar.
+
+Reuses the minidb SQL tokenizer/expression parser, so rule conditions
+support the full minidb expression dialect (including ``5 mins``
+interval shorthand, as the paper's rule tables use).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuleSyntaxError, SqlSyntaxError
+from repro.minidb.expressions import Expr
+from repro.minidb.sqlparse.lexer import TokenKind
+from repro.minidb.sqlparse.parser import Parser
+from repro.sqlts.model import Action, ActionKind, CleansingRule, PatternRef
+
+__all__ = ["parse_rule"]
+
+
+class _RuleParser(Parser):
+    """Recursive-descent productions for the rule grammar."""
+
+    def parse_rule(self) -> CleansingRule:
+        try:
+            return self._parse_rule_body()
+        except SqlSyntaxError as error:
+            raise RuleSyntaxError(str(error)) from error
+
+    def _parse_rule_body(self) -> CleansingRule:
+        self._expect_keyword("define")
+        name = self._expect_ident("rule name").lower
+        self._expect_keyword("on")
+        on_table = self._expect_ident("table name").lower
+        from_table = on_table
+        if self._match_keyword("from"):
+            from_table = self._expect_ident("table name").lower
+        self._expect_keyword("cluster")
+        self._expect_keyword("by")
+        cluster_key = self._expect_ident("cluster key").lower
+        self._expect_keyword("sequence")
+        self._expect_keyword("by")
+        sequence_key = self._expect_ident("sequence key").lower
+        self._expect_keyword("as")
+        pattern = self._parse_pattern()
+        self._expect_keyword("where")
+        condition = self.parse_expr()
+        self._expect_keyword("action")
+        action = self._parse_action()
+        token = self._peek()
+        if token.kind != TokenKind.END:
+            raise SqlSyntaxError(f"trailing input {token.text!r}",
+                                 token.line, token.column)
+        return CleansingRule(
+            name=name, on_table=on_table, from_table=from_table,
+            cluster_key=cluster_key, sequence_key=sequence_key,
+            pattern=pattern, condition=condition, action=action)
+
+    def _parse_pattern(self) -> list[PatternRef]:
+        self._expect_punct("(")
+        refs: list[PatternRef] = []
+        while True:
+            is_set = bool(self._match_punct("*"))
+            name = self._expect_ident("pattern reference").lower
+            min_matches = 1
+            if self._match_punct("{"):
+                token = self._advance()
+                if token.kind != TokenKind.NUMBER or "." in token.text:
+                    raise SqlSyntaxError(
+                        "match-count qualifier expects an integer",
+                        token.line, token.column)
+                min_matches = int(token.text)
+                self._expect_punct("}")
+            refs.append(PatternRef(name, is_set=is_set, position=len(refs),
+                                   min_matches=min_matches))
+            if not self._match_punct(","):
+                break
+        self._expect_punct(")")
+        return refs
+
+    def _parse_action(self) -> Action:
+        if self._match_keyword("delete"):
+            target = self._expect_ident("target reference").lower
+            return Action(ActionKind.DELETE, target)
+        if self._match_keyword("keep"):
+            target = self._expect_ident("target reference").lower
+            return Action(ActionKind.KEEP, target)
+        self._expect_keyword("modify")
+        assignments: dict[str, Expr] = {}
+        target: str | None = None
+        while True:
+            ref_name = self._expect_ident("target reference").lower
+            self._expect_punct(".")
+            column = self._expect_ident("column name").lower
+            self._expect_punct("=")
+            value = self.parse_expr()
+            if target is None:
+                target = ref_name
+            elif target != ref_name:
+                raise SqlSyntaxError(
+                    "MODIFY assignments must all target the same reference")
+            assignments[column] = value
+            if not self._match_punct(","):
+                break
+        assert target is not None
+        return Action(ActionKind.MODIFY, target, assignments)
+
+
+def parse_rule(text: str) -> CleansingRule:
+    """Parse one extended SQL-TS rule definition."""
+    return _RuleParser(text).parse_rule()

@@ -1,0 +1,25 @@
+"""The paper's benchmark workload: queries q1/q2/q2', the five standard
+cleansing rules, selectivity-targeted timestamp pickers, and a
+Workbench bundling a generated database with a rule registry and the
+rewrite engine.
+"""
+
+from repro.workloads.queries import q1_sql, q2_sql, q2_prime_sql
+from repro.workloads.rules import STANDARD_RULE_ORDER, make_registry, rule_texts
+from repro.workloads.selectivity import (
+    timestamp_for_fraction_above,
+    timestamp_for_fraction_below,
+)
+from repro.workloads.workbench import Workbench
+
+__all__ = [
+    "q1_sql",
+    "q2_sql",
+    "q2_prime_sql",
+    "STANDARD_RULE_ORDER",
+    "make_registry",
+    "rule_texts",
+    "timestamp_for_fraction_below",
+    "timestamp_for_fraction_above",
+    "Workbench",
+]

@@ -1,0 +1,62 @@
+"""The benchmark queries of Figure 6.
+
+``q1`` performs "dwell" analysis — average time between consecutive
+locations — using SQL/OLAP to pair adjacent reads of each EPC (we add
+the ``PARTITION BY epc ORDER BY rtime`` the paper's listing elides but
+clearly intends). ``q2`` is a star-style analytical query joining the
+reads table with four dimensions. ``q2'`` swaps the correlated site
+predicate for an EPC-uncorrelated business-step-type predicate (§6.2's
+extreme test).
+"""
+
+from __future__ import annotations
+
+__all__ = ["q1_sql", "q2_sql", "q2_prime_sql"]
+
+
+def q1_sql(t1: int) -> str:
+    """Dwell analysis over reads at or before *t1* (epoch seconds)."""
+    return f"""
+with v1 as (
+  select epc, biz_loc as current_loc, rtime,
+         max(rtime) over (partition by epc order by rtime asc
+                          rows between 1 preceding and 1 preceding)
+             as prev_time,
+         max(biz_loc) over (partition by epc order by rtime asc
+                            rows between 1 preceding and 1 preceding)
+             as prev_loc
+  from caser where rtime <= {t1})
+select l1.loc_desc as from_loc, l2.loc_desc as to_loc,
+       avg(rtime - prev_time) as avg_dwell
+from v1, locs l1, locs l2
+where v1.prev_loc = l1.gln and v1.current_loc = l2.gln
+group by l1.loc_desc, l2.loc_desc
+"""
+
+
+def q2_sql(t2: int, site: str = "distribution center 2") -> str:
+    """Site analysis: reader utilization and steps per manufacturer."""
+    return f"""
+select p.manufacturer, count(distinct s.type) as step_types,
+       count(distinct c.reader) as readers_used
+from caser c, steps s, locs l, epc_info i, product p
+where c.biz_step = s.biz_step and c.biz_loc = l.gln
+  and c.epc = i.epc and i.product = p.product
+  and c.rtime >= {t2}
+  and l.site = '{site}'
+group by p.manufacturer
+"""
+
+
+def q2_prime_sql(t2: int, step_type: str = "type_03") -> str:
+    """q2 with the site predicate swapped for an EPC-uncorrelated one."""
+    return f"""
+select p.manufacturer, count(distinct l.site) as sites_used,
+       count(distinct c.reader) as readers_used
+from caser c, steps s, locs l, epc_info i, product p
+where c.biz_step = s.biz_step and c.biz_loc = l.gln
+  and c.epc = i.epc and i.product = p.product
+  and c.rtime >= {t2}
+  and s.type = '{step_type}'
+group by p.manufacturer
+"""

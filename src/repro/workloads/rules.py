@@ -1,0 +1,105 @@
+"""The five standard cleansing rules of §4.3, parameterized with the
+generated dataset's constants (readerX, the replacing-rule locations,
+and the pallet/case read gap).
+
+The missing rule is expressed, as in the paper, as two sub-rules r1/r2
+whose input is the derived ``case_with_pallet`` view: the union of case
+reads (``is_pallet=0``) and "expected" case reads copied from the
+pallet's reads through the parent table (``is_pallet=1``).
+"""
+
+from __future__ import annotations
+
+from repro.datagen.generator import GeneratedData
+from repro.minidb.engine import Database
+from repro.sqlts.registry import RuleRegistry
+
+__all__ = ["STANDARD_RULE_ORDER", "rule_texts", "case_with_pallet_view",
+           "make_registry"]
+
+#: The order rules are added in the experiments (Table 1).
+STANDARD_RULE_ORDER = ("reader", "duplicate", "replacing", "cycle",
+                       "missing")
+
+#: Name of the derived rule-input view for the missing rule.
+MISSING_VIEW = "case_with_pallet"
+
+
+def case_with_pallet_view() -> str:
+    """SQL for the missing rule's derived input (§6.3)."""
+    return """
+select epc, rtime, reader, biz_loc, biz_step, 0 as is_pallet
+from caser
+union all
+select parent.child_epc as epc, palletr.rtime, palletr.reader,
+       palletr.biz_loc, palletr.biz_step, 1 as is_pallet
+from palletr, parent
+where palletr.epc = parent.parent_epc
+"""
+
+
+def rule_texts(data: GeneratedData) -> dict[str, list[str]]:
+    """Rule name -> extended SQL-TS definitions (missing has two)."""
+    config = data.config
+    t1 = config.t1_duplicate
+    t2 = config.t2_reader
+    t3 = config.t3_replacing
+    gap = config.pallet_case_gap
+    return {
+        "reader": [f"""
+DEFINE reader_rule ON caser CLUSTER BY epc SEQUENCE BY rtime
+AS (A, *B)
+WHERE B.reader = '{data.reader_x}' AND B.rtime - A.rtime < {t2} seconds
+ACTION DELETE A
+"""],
+        "duplicate": [f"""
+DEFINE duplicate_rule ON caser CLUSTER BY epc SEQUENCE BY rtime
+AS (A, B)
+WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < {t1} seconds
+ACTION DELETE B
+"""],
+        "replacing": [f"""
+DEFINE replacing_rule ON caser CLUSTER BY epc SEQUENCE BY rtime
+AS (A, B)
+WHERE A.biz_loc = '{data.loc2}' AND B.biz_loc = '{data.loc_a}'
+  AND B.rtime - A.rtime < {t3} seconds
+ACTION MODIFY A.biz_loc = '{data.loc1}'
+"""],
+        "cycle": ["""
+DEFINE cycle_rule ON caser CLUSTER BY epc SEQUENCE BY rtime
+AS (A, B, C)
+WHERE A.biz_loc = C.biz_loc AND A.biz_loc != B.biz_loc
+ACTION DELETE B
+"""],
+        "missing": [f"""
+DEFINE missing_rule_r1 ON caser FROM {MISSING_VIEW}
+CLUSTER BY epc SEQUENCE BY rtime
+AS (X, A, Y)
+WHERE A.is_pallet = 1 AND
+      ((X.is_pallet = 0 AND A.biz_loc = X.biz_loc
+        AND A.rtime - X.rtime < {gap} seconds)
+       OR
+       (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc
+        AND Y.rtime - A.rtime < {gap} seconds))
+ACTION MODIFY A.has_case_nearby = 1
+""", """
+DEFINE missing_rule_r2 ON caser CLUSTER BY epc SEQUENCE BY rtime
+AS (A, *B)
+WHERE A.is_pallet = 0 OR
+      (A.has_case_nearby = 0 AND B.has_case_nearby = 1)
+ACTION KEEP A
+"""],
+    }
+
+
+def make_registry(database: Database | None, data: GeneratedData,
+                  rule_names: list[str] | tuple[str, ...] = STANDARD_RULE_ORDER,
+                  ) -> RuleRegistry:
+    """A registry with the named rules defined in the given order."""
+    registry = RuleRegistry(database)
+    registry.define_view(MISSING_VIEW, case_with_pallet_view())
+    texts = rule_texts(data)
+    for name in rule_names:
+        for rule_text in texts[name]:
+            registry.define(rule_text)
+    return registry

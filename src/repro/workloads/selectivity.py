@@ -1,0 +1,40 @@
+"""Timestamp pickers hitting target rtime-predicate selectivities.
+
+The paper varies the selectivity of the ``rtime`` predicate in q1/q2
+from 1% to 40% "by adjusting T1 and T2 accordingly"; these helpers
+compute the timestamps from the generated rtime distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DataGenError
+
+__all__ = ["timestamp_for_fraction_below", "timestamp_for_fraction_above"]
+
+
+def _sorted_times(rtimes: Sequence[int]) -> list[int]:
+    if not rtimes:
+        raise DataGenError("cannot pick a timestamp from an empty dataset")
+    return sorted(rtimes)
+
+
+def timestamp_for_fraction_below(rtimes: Sequence[int],
+                                 fraction: float) -> int:
+    """T such that ``rtime <= T`` selects ~``fraction`` of the reads (q1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise DataGenError(f"fraction {fraction} out of (0, 1]")
+    ordered = _sorted_times(rtimes)
+    index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def timestamp_for_fraction_above(rtimes: Sequence[int],
+                                 fraction: float) -> int:
+    """T such that ``rtime >= T`` selects ~``fraction`` of the reads (q2)."""
+    if not 0.0 < fraction <= 1.0:
+        raise DataGenError(f"fraction {fraction} out of (0, 1]")
+    ordered = _sorted_times(rtimes)
+    index = max(0, len(ordered) - max(1, round(fraction * len(ordered))))
+    return ordered[index]

@@ -1,0 +1,69 @@
+"""Conjunction-structure analysis tests."""
+
+from repro.analysis.conjunction import atoms_of, find_conjoined_group
+from repro.minidb.sqlparse import parse_expression
+
+
+def group_for(condition_sql, predicate):
+    condition = parse_expression(condition_sql)
+    atoms = [atom for atom in atoms_of(condition) if predicate(atom)]
+    return condition, atoms, find_conjoined_group(
+        condition, {id(atom) for atom in atoms})
+
+
+def mentions(name):
+    return lambda atom: any(ref.qualifier == name
+                            for ref in atom.referenced_columns())
+
+
+class TestAtoms:
+    def test_flat_conjunction(self):
+        atoms = atoms_of(parse_expression("a.x = 1 and b.y = 2 and c.z = 3"))
+        assert len(atoms) == 3
+
+    def test_or_branches(self):
+        atoms = atoms_of(parse_expression("a.x = 1 or (b.y = 2 and c.z = 3)"))
+        assert len(atoms) == 3
+
+    def test_single_atom(self):
+        assert len(atoms_of(parse_expression("a.x = 1"))) == 1
+
+
+class TestConjoinedGroup:
+    def test_top_level_conjuncts(self):
+        _, atoms, lca = group_for(
+            "b.r = 'x' and b.t - a.t < 5 and a.l = 'y'", mentions("b"))
+        assert len(atoms) == 2
+        assert lca is not None
+
+    def test_group_inside_one_or_branch(self):
+        # The missing rule's r1 shape.
+        _, atoms, lca = group_for(
+            "a.p = 1 and ((x.p = 0 and a.l = x.l) or (y.p = 0 and a.l = y.l))",
+            mentions("x"))
+        assert len(atoms) == 2
+        assert lca is not None
+
+    def test_atoms_split_across_or_rejected(self):
+        _, _, lca = group_for("b.x = 1 or b.y = 2", mentions("b"))
+        assert lca is None
+
+    def test_atom_below_or_within_lca_rejected(self):
+        _, _, lca = group_for(
+            "b.x = 1 and (b.y = 2 or a.z = 3)", mentions("b"))
+        assert lca is None
+
+    def test_siblings_allowed_beside_group(self):
+        _, _, lca = group_for(
+            "a.z = 3 and b.x = 1 and b.y = 2", mentions("b"))
+        assert lca is not None
+
+    def test_no_atoms(self):
+        condition = parse_expression("a.x = 1")
+        assert find_conjoined_group(condition, set()) is None
+
+    def test_single_atom_is_its_own_group(self):
+        _, atoms, lca = group_for(
+            "a.p = 0 or (a.h = 0 and b.h = 1)", mentions("b"))
+        assert len(atoms) == 1
+        assert lca is atoms[0]

@@ -1,0 +1,109 @@
+"""Linear-form normalization tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.linear import LinearForm, linearize, normalize_comparison
+from repro.minidb.expressions import BinaryOp, ColumnRef, Literal, UnaryOp
+from repro.minidb.sqlparse import parse_expression
+
+
+A = ColumnRef("rtime", "a")
+B = ColumnRef("rtime", "b")
+
+
+class TestLinearize:
+    def test_literal(self):
+        form = linearize(Literal(5))
+        assert form.is_constant and form.constant == 5
+
+    def test_column(self):
+        form = linearize(A)
+        assert form.coeffs == {A: 1.0} and form.constant == 0
+
+    def test_difference(self):
+        form = linearize(parse_expression("b.rtime - a.rtime"))
+        assert form.coeffs == {B: 1.0, A: -1.0}
+
+    def test_nested_arithmetic(self):
+        form = linearize(parse_expression("2 * (a.rtime + 3) - a.rtime"))
+        assert form.coeffs == {A: 1.0}
+        assert form.constant == 6
+
+    def test_division_by_constant(self):
+        form = linearize(parse_expression("a.rtime / 2"))
+        assert form.coeffs == {A: 0.5}
+
+    def test_negation(self):
+        form = linearize(UnaryOp("-", A))
+        assert form.coeffs == {A: -1.0}
+
+    def test_nonlinear_returns_none(self):
+        assert linearize(parse_expression("a.rtime * b.rtime")) is None
+        assert linearize(parse_expression("a.rtime / b.rtime")) is None
+        assert linearize(Literal("text")) is None
+
+    def test_cancellation_removes_zero_coeffs(self):
+        form = linearize(parse_expression("a.rtime - a.rtime"))
+        assert form.is_constant
+
+    def test_single_reference(self):
+        assert linearize(parse_expression("a.rtime + 1")) \
+            .single_reference() == A
+        assert linearize(parse_expression("2 * a.rtime")) \
+            .single_reference() is None
+
+
+class TestNormalizeComparison:
+    def test_difference_bound(self):
+        result = normalize_comparison(
+            parse_expression("b.rtime - a.rtime < 300"))
+        assert result is not None
+        form, op = result
+        assert op == "<"
+        assert form.coeffs == {B: 1.0, A: -1.0}
+        assert form.constant == -300
+
+    def test_moves_terms_across_sides(self):
+        result = normalize_comparison(
+            parse_expression("b.rtime < a.rtime + 300"))
+        form, op = result
+        assert form.coeffs == {B: 1.0, A: -1.0}
+        assert form.constant == -300
+
+    def test_non_comparison_returns_none(self):
+        assert normalize_comparison(parse_expression("a.rtime + 1")) is None
+        assert normalize_comparison(
+            parse_expression("a.x = 'text' and b.x = 'y'")) is None
+
+    def test_nonlinear_side_returns_none(self):
+        assert normalize_comparison(
+            parse_expression("a.rtime * b.rtime < 5")) is None
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100),
+       st.integers(-100, 100), st.integers(-100, 100))
+def test_linearize_agrees_with_evaluation(x, y, c1, c2):
+    """linearize(e) evaluated as a form equals evaluating e directly."""
+    expr = parse_expression(f"2 * (a.rtime - {c1}) - (b.rtime + {c2})")
+    form = linearize(expr)
+    computed = sum(coeff * {A: x, B: y}[ref]
+                   for ref, coeff in form.coeffs.items()) + form.constant
+    expected = 2 * (x - c1) - (y + c2)
+    assert computed == expected
+
+
+class TestFormAlgebra:
+    def test_add_and_scale(self):
+        left = LinearForm({A: 1.0}, 2.0)
+        right = LinearForm({A: 1.0, B: -1.0}, 1.0)
+        total = left.add(right)
+        assert total.coeffs == {A: 2.0, B: -1.0}
+        assert total.constant == 3.0
+        scaled = total.scale(0.5)
+        assert scaled.coeffs == {A: 1.0, B: -0.5}
+
+    def test_add_cancels(self):
+        left = LinearForm({A: 1.0})
+        right = LinearForm({A: 1.0})
+        assert left.add(right, sign=-1.0).is_constant

@@ -1,0 +1,130 @@
+"""Anomaly-injection tests: counts, shapes, and cleanability."""
+
+import pytest
+
+from repro.datagen import GeneratorConfig, RFIDGen
+from repro.datagen.anomalies import ANOMALY_KINDS
+
+CFG = dict(scale=4, stores=6, warehouses=3, distribution_centers=2,
+           locations_per_site=8, products=30, manufacturers=5)
+
+
+@pytest.fixture(scope="module")
+def dirty():
+    return RFIDGen(GeneratorConfig(anomaly_percent=20.0, **CFG)).generate()
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return RFIDGen(GeneratorConfig(anomaly_percent=0.0, **CFG)).generate()
+
+
+class TestBudget:
+    def test_total_matches_percentage(self, dirty):
+        expected = round(0.20 * dirty.anomalies.clean_case_reads)
+        assert dirty.anomalies.total == expected
+
+    def test_even_split_across_kinds(self, dirty):
+        counts = dirty.anomalies.by_kind
+        assert set(counts) == set(ANOMALY_KINDS)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_zero_percent_injects_nothing(self, clean):
+        assert clean.anomalies.total == 0
+
+    def test_insertions_and_deletions_change_size(self, dirty, clean):
+        # duplicate/reader add 1 row, replacing/cycle add 2, missing
+        # removes 1 (the paper notes missing reads shrink the raw data).
+        counts = dirty.anomalies.by_kind
+        expected_delta = (counts["duplicate"] + counts["reader"]
+                          + 2 * counts["replacing"] + 2 * counts["cycle"]
+                          - counts["missing"])
+        assert len(dirty.case_reads) \
+            == dirty.anomalies.clean_case_reads + expected_delta
+
+
+class TestShapes:
+    def test_duplicates_within_t1(self, dirty):
+        """Some pair of same-loc reads within t1 must now exist."""
+        by_epc = {}
+        for row in dirty.case_reads:
+            by_epc.setdefault(row[0], []).append(row)
+        found = 0
+        for rows in by_epc.values():
+            rows = sorted(rows, key=lambda r: r[1])
+            for left, right in zip(rows, rows[1:]):
+                if left[3] == right[3] \
+                        and 0 < right[1] - left[1] < dirty.config.t1_duplicate:
+                    found += 1
+        # Later injections can land between a read and its duplicate, so
+        # adjacency holds for most but not all injected pairs.
+        assert found >= 0.85 * dirty.anomalies.by_kind["duplicate"]
+
+    def test_reader_x_reads_present(self, dirty):
+        readers = {row[2] for row in dirty.case_reads}
+        assert dirty.reader_x in readers
+
+    def test_reader_anomaly_shape(self, dirty):
+        """Each readerX read has some read within t2 before it."""
+        by_epc = {}
+        for row in dirty.case_reads:
+            by_epc.setdefault(row[0], []).append(row)
+        t2 = dirty.config.t2_reader
+        confirmed = 0
+        for rows in by_epc.values():
+            rows = sorted(rows, key=lambda r: r[1])
+            for index, row in enumerate(rows):
+                if row[2] != dirty.reader_x:
+                    continue
+                if any(0 < row[1] - prev[1] < t2 for prev in rows[:index]):
+                    confirmed += 1
+        assert confirmed >= dirty.anomalies.by_kind["reader"] // 2
+
+    def test_replacing_cross_reads_at_loc2(self, dirty):
+        at_loc2 = [row for row in dirty.case_reads if row[3] == dirty.loc2]
+        assert len(at_loc2) >= dirty.anomalies.by_kind["replacing"]
+
+    def test_missing_shrinks_some_sequences(self, dirty, clean):
+        clean_counts = {}
+        for row in clean.case_reads:
+            clean_counts[row[0]] = clean_counts.get(row[0], 0) + 1
+        dirty_counts = {}
+        for row in dirty.case_reads:
+            dirty_counts[row[0]] = dirty_counts.get(row[0], 0) + 1
+        shrunk = sum(1 for epc, n in clean_counts.items()
+                     if dirty_counts.get(epc, 0) < n)
+        assert shrunk > 0
+
+    def test_sequences_stay_time_sorted(self, dirty):
+        by_epc = {}
+        for row in dirty.case_reads:
+            by_epc.setdefault(row[0], []).append(row[1])
+        for times in by_epc.values():
+            assert times == sorted(times)
+
+
+class TestCleansingRemovesAnomalies:
+    def test_rules_reduce_dirty_data_towards_clean_size(self, dirty):
+        """Applying all five rules removes roughly the injected surplus.
+
+        Exact equality with the clean dataset is not expected (MODIFY
+        keeps relocated rows; compensated missing reads come back with
+        pallet timestamps), but deletions must dominate."""
+        from repro.datagen import load_into_database
+        from repro.rewrite import DeferredCleansingEngine
+        from repro.workloads import make_registry
+
+        db = load_into_database(dirty)
+        registry = make_registry(db, dirty)
+        engine = DeferredCleansingEngine(db, registry)
+        cleansed = engine.execute("select count(*) from caser",
+                                  strategies={"naive"}).scalar()
+        dirty_count = len(dirty.case_reads)
+        removable = (dirty.anomalies.by_kind["duplicate"]
+                     + dirty.anomalies.by_kind["reader"]
+                     + dirty.anomalies.by_kind["cycle"])
+        compensated = dirty.anomalies.by_kind["missing"]
+        # All delete-style anomalies must be gone; compensation adds rows.
+        assert cleansed <= dirty_count
+        assert cleansed >= dirty_count - 2 * removable
+        assert cleansed >= compensated

@@ -1,0 +1,146 @@
+"""RFIDGen tests: the Figure 5 contract and trace structure."""
+
+import pytest
+
+from repro.datagen import GeneratorConfig, RFIDGen
+from repro.errors import DataGenError
+
+CFG = dict(scale=4, stores=6, warehouses=3, distribution_centers=2,
+           locations_per_site=8, products=30, manufacturers=5)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return RFIDGen(GeneratorConfig(anomaly_percent=0.0, **CFG)).generate()
+
+
+class TestFigure5RowCounts:
+    """Row-count relationships stated in §6.1 / Figure 5."""
+
+    def test_pallet_reads_are_scale_times_30(self, data):
+        assert len(data.pallet_reads) == data.config.scale * 30
+
+    def test_case_count_between_20_and_80_per_pallet(self, data):
+        assert data.config.scale * 20 <= len(data.parent_rows) \
+            <= data.config.scale * 80
+
+    def test_case_reads_are_cases_times_30(self, data):
+        assert len(data.case_reads) == len(data.parent_rows) * 30
+
+    def test_epc_info_one_row_per_case(self, data):
+        assert len(data.epc_info_rows) == len(data.parent_rows)
+
+    def test_locations_sites_times_locations(self, data):
+        expected = (CFG["stores"] + CFG["warehouses"]
+                    + CFG["distribution_centers"]) * CFG["locations_per_site"]
+        assert len(data.location_rows) == expected
+
+    def test_steps_and_types(self, data):
+        assert len(data.step_rows) == data.config.business_steps
+        types = {step_type for _, step_type in data.step_rows}
+        assert len(types) == data.config.step_types
+
+    def test_products_and_manufacturers(self, data):
+        assert len(data.product_rows) == CFG["products"]
+        manufacturers = {m for _, m in data.product_rows}
+        assert len(manufacturers) <= CFG["manufacturers"]
+
+    def test_paper_scale_formula_at_default_topology(self):
+        """The headline contract: caseR ~ s*1500 rows on average."""
+        data = RFIDGen(GeneratorConfig(anomaly_percent=0.0,
+                                       **{**CFG, "scale": 10})).generate()
+        per_pallet = len(data.parent_rows) / 10
+        assert 20 <= per_pallet <= 80
+        assert len(data.case_reads) == len(data.parent_rows) * 30
+
+
+class TestTraceStructure:
+    def test_epcs_are_50_characters_and_unique(self, data):
+        epcs = {row[0] for row in data.case_reads}
+        assert all(len(epc) == 50 for epc in epcs)
+        pallet_epcs = {row[0] for row in data.pallet_reads}
+        assert not (epcs & pallet_epcs)
+
+    def test_case_travels_with_pallet(self, data):
+        """Every case read pairs with a pallet read: same reader and
+        location, within pallet_case_gap seconds."""
+        pallet_of = dict(data.parent_rows)
+        pallet_reads = {}
+        for row in data.pallet_reads:
+            pallet_reads.setdefault(row[0], []).append(row)
+        gap = data.config.pallet_case_gap
+        checked = 0
+        for row in data.case_reads[:500]:
+            pallet = pallet_of[row[0]]
+            matches = [p for p in pallet_reads[pallet]
+                       if p[3] == row[3] and 0 < row[1] - p[1] < gap
+                       and p[2] == row[2]]
+            assert matches, f"case read {row} has no pallet companion"
+            checked += 1
+        assert checked
+
+    def test_sequences_are_strictly_increasing_after_sort(self, data):
+        by_epc = {}
+        for row in data.case_reads:
+            by_epc.setdefault(row[0], []).append(row[1])
+        for times in by_epc.values():
+            assert times == sorted(times)
+
+    def test_thirty_reads_per_case_across_three_sites(self, data):
+        by_epc = {}
+        for row in data.case_reads:
+            by_epc.setdefault(row[0], []).append(row)
+        sites_by_gln = {gln: site for gln, site, _ in data.location_rows}
+        for rows in list(by_epc.values())[:20]:
+            assert len(rows) == 30
+            sites = {sites_by_gln[row[3]] for row in rows}
+            assert len(sites) == 3
+
+    def test_route_goes_dc_warehouse_store(self, data):
+        sites_by_gln = {gln: site for gln, site, _ in data.location_rows}
+        by_epc = {}
+        for row in data.case_reads:
+            by_epc.setdefault(row[0], []).append(row)
+        rows = sorted(next(iter(by_epc.values())), key=lambda r: r[1])
+        site_order = []
+        for row in rows:
+            site = sites_by_gln[row[3]]
+            if not site_order or site_order[-1] != site:
+                site_order.append(site)
+        kinds = [site.split()[0] for site in site_order]
+        assert kinds == ["distribution", "warehouse", "store"]
+
+    def test_determinism(self):
+        config = GeneratorConfig(anomaly_percent=5.0, **CFG)
+        first = RFIDGen(config).generate()
+        second = RFIDGen(config).generate()
+        assert first.case_reads == second.case_reads
+        assert first.loc1 == second.loc1
+
+    def test_different_seeds_differ(self):
+        first = RFIDGen(GeneratorConfig(seed=1, **CFG)).generate()
+        second = RFIDGen(GeneratorConfig(seed=2, **CFG)).generate()
+        assert first.case_reads != second.case_reads
+
+    def test_replacing_locations_distinct(self, data):
+        assert len({data.loc1, data.loc2, data.loc_a}) == 3
+
+
+class TestConfigValidation:
+    def test_zero_scale_rejected(self):
+        with pytest.raises(DataGenError):
+            RFIDGen(GeneratorConfig(scale=0))
+
+    def test_inverted_case_range_rejected(self):
+        with pytest.raises(DataGenError):
+            RFIDGen(GeneratorConfig(min_cases_per_pallet=10,
+                                    max_cases_per_pallet=5))
+
+    def test_bad_anomaly_percent_rejected(self):
+        with pytest.raises(DataGenError):
+            RFIDGen(GeneratorConfig(anomaly_percent=120.0))
+
+    def test_latency_must_exceed_gap(self):
+        with pytest.raises(DataGenError):
+            RFIDGen(GeneratorConfig(min_read_latency=60,
+                                    pallet_case_gap=600))

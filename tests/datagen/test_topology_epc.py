@@ -1,0 +1,91 @@
+"""Unit tests for the topology and EPC-encoding helpers."""
+
+import random
+
+import pytest
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.epc import GLN_LENGTH, case_epc, location_gln, pallet_epc
+from repro.datagen.topology import Topology
+
+
+class TestEpcEncoding:
+    def test_fixed_width_50(self):
+        for serial in (0, 1, 999, 10**9):
+            assert len(case_epc(serial)) == 50
+            assert len(pallet_epc(serial)) == 50
+
+    def test_uniqueness_and_order(self):
+        epcs = [case_epc(serial) for serial in range(1000)]
+        assert len(set(epcs)) == 1000
+        assert epcs == sorted(epcs)  # zero padding keeps lexical order
+
+    def test_namespaces_disjoint(self):
+        assert case_epc(7) != pallet_epc(7)
+        # The scheme segments differ (sgtin vs sscc).
+        assert case_epc(7)[:19] != pallet_epc(7)[:19]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            case_epc(10 ** 45)
+
+    def test_gln_width(self):
+        assert len(location_gln(0, 0)) == GLN_LENGTH
+        assert len(location_gln(999999, 999999)) == GLN_LENGTH
+
+    def test_gln_uniqueness(self):
+        glns = {location_gln(site, loc)
+                for site in range(50) for loc in range(100)}
+        assert len(glns) == 50 * 100
+
+
+class TestTopology:
+    def _topology(self):
+        config = GeneratorConfig(stores=8, warehouses=4,
+                                 distribution_centers=2,
+                                 locations_per_site=5)
+        return Topology(config, random.Random(7)), config
+
+    def test_site_counts(self):
+        topology, config = self._topology()
+        assert len(topology.dcs) == 2
+        assert len(topology.warehouses) == 4
+        assert len(topology.stores) == 8
+        assert len(topology.sites) == config.sites_total
+
+    def test_locations_per_site(self):
+        topology, config = self._topology()
+        for site in topology.sites:
+            assert len(site.locations) == config.locations_per_site
+
+    def test_site_names_follow_paper_vocabulary(self):
+        topology, _ = self._topology()
+        kinds = {site.name.split(" ")[0] for site in topology.sites}
+        assert kinds == {"distribution", "warehouse", "store"}
+
+    def test_routes_are_three_levels(self):
+        topology, _ = self._topology()
+        for store in topology.stores:
+            route = topology.route_for_store(store)
+            assert [site.kind for site in route] == \
+                ["dc", "warehouse", "store"]
+
+    def test_routing_is_stable(self):
+        topology, _ = self._topology()
+        store = topology.stores[0]
+        assert topology.route_for_store(store) \
+            == topology.route_for_store(store)
+
+    def test_all_locations_flat_list(self):
+        topology, config = self._topology()
+        locations = topology.all_locations()
+        assert len(locations) == config.sites_total \
+            * config.locations_per_site
+        assert len({location.gln for location in locations}) \
+            == len(locations)
+
+    def test_readers_unique_per_location(self):
+        topology, _ = self._topology()
+        readers = [location.reader
+                   for location in topology.all_locations()]
+        assert len(set(readers)) == len(readers)

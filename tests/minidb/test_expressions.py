@@ -1,0 +1,196 @@
+"""Expression evaluation, substitution, traversal, and null semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PlanningError, TypeMismatchError
+from repro.minidb.expressions import (
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+    and_all,
+    column,
+    lit,
+    or_all,
+)
+from repro.minidb.plan.planschema import Field, PlanSchema
+from repro.minidb.types import SqlType
+
+
+def schema(**cols):
+    return PlanSchema([Field(name, sql_type) for name, sql_type
+                       in cols.items()])
+
+
+SCHEMA = schema(a=SqlType.INTEGER, b=SqlType.INTEGER, s=SqlType.VARCHAR)
+
+
+def run(expr, row):
+    return expr.bind(SCHEMA.resolver())(row)
+
+
+class TestEvaluation:
+    def test_column_and_literal(self):
+        assert run(column("b"), (1, 2, "x")) == 2
+        assert run(lit(42), (0, 0, "")) == 42
+
+    def test_arithmetic(self):
+        expr = BinaryOp("+", column("a"), BinaryOp("*", column("b"), lit(3)))
+        assert run(expr, (1, 2, "")) == 7
+
+    def test_integer_division_exact(self):
+        assert run(BinaryOp("/", lit(6), lit(3)), ()) == 2
+
+    def test_division_inexact_gives_float(self):
+        assert run(BinaryOp("/", lit(7), lit(2)), ()) == pytest.approx(3.5)
+
+    def test_division_by_zero(self):
+        with pytest.raises(TypeMismatchError):
+            run(BinaryOp("/", lit(1), lit(0)), ())
+
+    def test_null_propagates_through_arithmetic(self):
+        expr = BinaryOp("-", column("a"), column("b"))
+        assert run(expr, (None, 2, "")) is None
+
+    def test_comparison_null_is_unknown(self):
+        expr = BinaryOp("<", column("a"), column("b"))
+        assert run(expr, (None, 2, "")) is None
+        assert run(expr, (1, 2, "")) is True
+
+    def test_and_or_three_valued(self):
+        true = lit(True)
+        null = BinaryOp("=", lit(None), lit(1))
+        assert run(BinaryOp("or", true, null), ()) is True
+        assert run(BinaryOp("and", true, null), ()) is None
+
+    def test_unary_not_and_negate(self):
+        assert run(UnaryOp("not", lit(False)), ()) is True
+        assert run(UnaryOp("-", column("a")), (5, 0, "")) == -5
+        assert run(UnaryOp("-", lit(None)), ()) is None
+
+    def test_is_null(self):
+        assert run(IsNull(column("a")), (None, 0, "")) is True
+        assert run(IsNull(column("a"), negated=True), (None, 0, "")) is False
+
+    def test_case_first_match_wins(self):
+        expr = Case(((BinaryOp(">", column("a"), lit(0)), lit("pos")),
+                     (BinaryOp("<", column("a"), lit(0)), lit("neg"))),
+                    lit("zero"))
+        assert run(expr, (3, 0, "")) == "pos"
+        assert run(expr, (-3, 0, "")) == "neg"
+        assert run(expr, (0, 0, "")) == "zero"
+
+    def test_case_unknown_condition_skipped(self):
+        expr = Case(((BinaryOp(">", column("a"), lit(0)), lit("pos")),),
+                    lit("other"))
+        assert run(expr, (None, 0, "")) == "other"
+
+    def test_case_without_else_defaults_null(self):
+        expr = Case(((lit(False), lit(1)),))
+        assert run(expr, ()) is None
+
+
+class TestInList:
+    def test_membership(self):
+        expr = InList(column("a"), (lit(1), lit(2)))
+        assert run(expr, (2, 0, "")) is True
+        assert run(expr, (3, 0, "")) is False
+
+    def test_negated(self):
+        expr = InList(column("a"), (lit(1),), negated=True)
+        assert run(expr, (2, 0, "")) is True
+
+    def test_null_operand_unknown(self):
+        expr = InList(column("a"), (lit(1),))
+        assert run(expr, (None, 0, "")) is None
+
+    def test_null_item_makes_nonmatch_unknown(self):
+        expr = InList(column("a"), (lit(1), lit(None)))
+        assert run(expr, (1, 0, "")) is True
+        assert run(expr, (2, 0, "")) is None
+
+
+class TestScalarFunctions:
+    def test_coalesce(self):
+        expr = FuncCall("coalesce", (column("a"), lit(9)))
+        assert run(expr, (None, 0, "")) == 9
+        assert run(expr, (4, 0, "")) == 4
+
+    def test_string_functions(self):
+        assert run(FuncCall("length", (column("s"),)), (0, 0, "abc")) == 3
+        assert run(FuncCall("upper", (column("s"),)), (0, 0, "ab")) == "AB"
+        assert run(FuncCall("substr", (lit("hello"), lit(2), lit(3))), ()) \
+            == "ell"
+
+    def test_like(self):
+        like = FuncCall("like", (column("s"), lit("a%c")))
+        assert run(like, (0, 0, "abbbc")) is True
+        assert run(like, (0, 0, "abd")) is False
+        underscore = FuncCall("like", (column("s"), lit("a_c")))
+        assert run(underscore, (0, 0, "abc")) is True
+        assert run(underscore, (0, 0, "abbc")) is False
+
+    def test_nullif_least_greatest(self):
+        assert run(FuncCall("nullif", (lit(3), lit(3))), ()) is None
+        assert run(FuncCall("least", (lit(3), lit(1))), ()) == 1
+        assert run(FuncCall("greatest", (lit(3), lit(1))), ()) == 3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanningError):
+            FuncCall("frobnicate", ()).bind(SCHEMA.resolver())
+
+
+class TestStructural:
+    def test_equality_and_hash(self):
+        first = BinaryOp("<", column("a"), lit(1))
+        second = BinaryOp("<", column("a"), lit(1))
+        assert first == second
+        assert len({first, second}) == 1
+
+    def test_substitute_replaces_subtree(self):
+        expr = BinaryOp("<", column("a"), lit(1))
+        replaced = expr.substitute({column("a"): column("b")})
+        assert replaced == BinaryOp("<", column("b"), lit(1))
+
+    def test_substitute_is_top_down(self):
+        inner = BinaryOp("+", column("a"), lit(1))
+        outer = BinaryOp("<", inner, lit(5))
+        replaced = outer.substitute({inner: column("b"),
+                                     column("a"): column("s")})
+        assert replaced == BinaryOp("<", column("b"), lit(5))
+
+    def test_referenced_columns(self):
+        expr = BinaryOp("and",
+                        BinaryOp("=", column("x", "t"), lit(1)),
+                        IsNull(column("y")))
+        assert expr.referenced_columns() == {ColumnRef("x", "t"),
+                                             ColumnRef("y")}
+
+    def test_and_all_or_all(self):
+        conjuncts = [lit(True), lit(False)]
+        assert and_all(conjuncts).op == "and"
+        assert or_all(conjuncts).op == "or"
+        assert and_all([]) is None
+        assert and_all([lit(True)]) == lit(True)
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_to_sql_reparses_to_equal_tree(self, x, y):
+        from repro.minidb.sqlparse import parse_expression
+        expr = BinaryOp("and",
+                        BinaryOp("<", column("a"), lit(x)),
+                        BinaryOp(">=", column("b"), lit(y)))
+        assert parse_expression(expr.to_sql()) == expr
+
+    def test_operator_normalization(self):
+        assert BinaryOp("<>", column("a"), lit(1)).op == "!="
+        assert BinaryOp("AND", lit(True), lit(True)).op == "and"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanningError):
+            BinaryOp("%%", column("a"), lit(1))

@@ -1,0 +1,82 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.minidb.sqlparse.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_identifiers_and_numbers(self):
+        assert kinds("abc 12 1.5") == [
+            (TokenKind.IDENT, "abc"),
+            (TokenKind.NUMBER, "12"),
+            (TokenKind.NUMBER, "1.5"),
+        ]
+
+    def test_scientific_notation(self):
+        assert kinds("1e3 2.5E-2")[0] == (TokenKind.NUMBER, "1e3")
+        assert kinds("1e3 2.5E-2")[1] == (TokenKind.NUMBER, "2.5E-2")
+
+    def test_operators_longest_match(self):
+        assert [t for _, t in kinds("a<=b<>c!=d>=e")] == [
+            "a", "<=", "b", "<>", "c", "!=", "d", ">=", "e"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].text == "Weird Name"
+
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment here\n b") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")]
+
+    def test_punctuation(self):
+        texts = [t for _, t in kinds("(a, b.c);")]
+        assert texts == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind == TokenKind.END
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("select\n  from")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_error_reports_location(self):
+        try:
+            tokenize("abc\n  @")
+        except SqlSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

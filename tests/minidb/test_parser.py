@@ -1,0 +1,228 @@
+"""SQL parser tests: shapes, desugaring, errors, and to_sql round trips."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.minidb.expressions import (
+    UNBOUNDED,
+    AggregateCall,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    UnaryOp,
+    WindowFunction,
+)
+from repro.minidb.sqlparse import parse_expression, parse_select
+from repro.minidb.sqlparse.ast import DerivedTable, JoinRef, TableName
+
+
+class TestSelectShapes:
+    def test_simple_select(self):
+        stmt = parse_select("select a, b from t where a = 1")
+        assert [item.expr for item in stmt.items] == [ColumnRef("a"),
+                                                      ColumnRef("b")]
+        assert isinstance(stmt.from_refs[0], TableName)
+        assert stmt.where == BinaryOp("=", ColumnRef("a"), Literal(1))
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_select("select *, t.* from t")
+        assert stmt.items[0].star and stmt.items[0].qualifier is None
+        assert stmt.items[1].star and stmt.items[1].qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_select("select a as x, b y from t1 z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_refs[0].alias == "z"
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_select(
+            "select a, count(*) from t group by a having count(*) > 2 "
+            "order by a desc limit 5")
+        assert stmt.group_by == [ColumnRef("a")]
+        assert isinstance(stmt.having, BinaryOp)
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+
+    def test_cte(self):
+        stmt = parse_select(
+            "with v as (select a from t) select * from v")
+        assert stmt.ctes[0].name == "v"
+        assert stmt.ctes[0].select.items[0].expr == ColumnRef("a")
+
+    def test_union_all(self):
+        stmt = parse_select("select a from t union all select b from u")
+        assert stmt.set_op.op == "union_all"
+
+    def test_union_distinct(self):
+        stmt = parse_select("select a from t union select b from u")
+        assert stmt.set_op.op == "union"
+
+    def test_explicit_join(self):
+        stmt = parse_select(
+            "select * from t join u on t.k = u.k left join v on u.j = v.j")
+        ref = stmt.from_refs[0]
+        assert isinstance(ref, JoinRef) and ref.kind == "left"
+        assert isinstance(ref.left, JoinRef) and ref.left.kind == "inner"
+
+    def test_derived_table(self):
+        stmt = parse_select("select * from (select a from t) d")
+        ref = stmt.from_refs[0]
+        assert isinstance(ref, DerivedTable) and ref.alias == "d"
+
+    def test_comma_join_list(self):
+        stmt = parse_select("select * from a, b, c")
+        assert [ref.name for ref in stmt.from_refs] == ["a", "b", "c"]
+
+
+class TestExpressions:
+    def test_precedence_arithmetic_over_comparison(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("not a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "not"
+
+    def test_between_desugars(self):
+        expr = parse_expression("a between 1 and 5")
+        assert expr == BinaryOp(
+            "and",
+            BinaryOp(">=", ColumnRef("a"), Literal(1)),
+            BinaryOp("<=", ColumnRef("a"), Literal(5)))
+
+    def test_not_between(self):
+        expr = parse_expression("a not between 1 and 5")
+        assert isinstance(expr, UnaryOp) and expr.op == "not"
+
+    def test_in_list(self):
+        expr = parse_expression("a in (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in_subquery(self):
+        expr = parse_expression("a not in (select k from d)")
+        assert isinstance(expr, InSubquery) and expr.negated
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("a is null") == IsNull(ColumnRef("a"))
+        assert parse_expression("a is not null") == \
+            IsNull(ColumnRef("a"), negated=True)
+
+    def test_like_desugars_to_funcall(self):
+        expr = parse_expression("a like 'x%'")
+        assert isinstance(expr, FuncCall) and expr.name == "like"
+
+    def test_case(self):
+        expr = parse_expression(
+            "case when a = 1 then 'one' when a = 2 then 'two' else 'x' end")
+        assert isinstance(expr, Case)
+        assert len(expr.whens) == 2
+        assert expr.else_result == Literal("x")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("case else 1 end")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 3")
+        assert expr.op == "+"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_timestamp_literal(self):
+        expr = parse_expression("timestamp '2006-09-12 00:00:00'")
+        assert isinstance(expr, Literal) and isinstance(expr.value, int)
+
+    def test_interval_literal(self):
+        assert parse_expression("interval '5' minute") == Literal(300)
+        assert parse_expression("interval 2 hours") == Literal(7200)
+
+    def test_numeric_unit_shorthand(self):
+        assert parse_expression("5 mins") == Literal(300)
+        assert parse_expression("b.rtime - a.rtime < 5 mins") == BinaryOp(
+            "<",
+            BinaryOp("-", ColumnRef("rtime", "b"), ColumnRef("rtime", "a")),
+            Literal(300))
+
+    def test_count_star_and_distinct(self):
+        assert parse_expression("count(*)") == AggregateCall("count", None)
+        expr = parse_expression("count(distinct a)")
+        assert isinstance(expr, AggregateCall) and expr.distinct
+
+
+class TestWindowParsing:
+    def test_full_window(self):
+        expr = parse_expression(
+            "max(biz_loc) over (partition by epc order by rtime asc "
+            "rows between 1 preceding and 1 preceding)")
+        assert isinstance(expr, WindowFunction)
+        assert expr.partition_by == (ColumnRef("epc"),)
+        assert expr.frame.mode == "rows"
+        assert expr.frame.start == -1 and expr.frame.end == -1
+
+    def test_range_with_time_units(self):
+        expr = parse_expression(
+            "max(x) over (order by rtime range between 1 sec following "
+            "and 5 min following)")
+        assert expr.frame.mode == "range"
+        assert expr.frame.start == 1 and expr.frame.end == 300
+
+    def test_unbounded_and_current_row(self):
+        expr = parse_expression(
+            "sum(x) over (order by t rows between unbounded preceding "
+            "and current row)")
+        assert expr.frame.start == UNBOUNDED and expr.frame.end == 0
+
+    def test_shorthand_n_preceding(self):
+        expr = parse_expression("max(x) over (order by t rows 2 preceding)")
+        assert expr.frame.start == -2 and expr.frame.end == 0
+
+    def test_row_number(self):
+        expr = parse_expression("row_number() over (order by t)")
+        assert expr.name == "row_number"
+
+    def test_scalar_function_cannot_take_over(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("length(x) over (order by t)")
+
+
+class TestErrorsAndRoundTrip:
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_select("select a from t garbage extra ,")
+
+    def test_missing_from_target(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select a from")
+
+    def test_expression_trailing(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("a = 1 bogus ,")
+
+    @pytest.mark.parametrize("sql", [
+        "select a, b as x from t where a < 3 order by x asc limit 2",
+        "with v as (select a from t) select * from v where a is not null",
+        "select count(distinct a) from t group by b having count(*) > 1",
+        "select * from t join u on t.k = u.k where t.a in (1, 2)",
+        "select max(a) over (partition by b order by c asc "
+        "range between 1 following and 10 following) from t",
+        "select a from t union all select b from u",
+    ])
+    def test_to_sql_round_trip(self, sql):
+        first = parse_select(sql)
+        second = parse_select(first.to_sql())
+        assert second.to_sql() == first.to_sql()

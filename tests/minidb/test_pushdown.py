@@ -1,0 +1,175 @@
+"""Unit tests for the logical pushdown pass (optimizer/rules.py)."""
+
+from repro.minidb import Database, SqlType, TableSchema
+from repro.minidb.expressions import ColumnRef, SortSpec, WindowFunction, lit
+from repro.minidb.optimizer.rules import push_down_filters
+from repro.minidb.plan.builder import build_plan
+from repro.minidb.plan.logical import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+    LogicalWindow,
+)
+from repro.minidb.sqlparse import parse_expression, parse_select
+
+
+def db():
+    database = Database()
+    database.create_table("t", TableSchema.of(
+        ("k", SqlType.INTEGER), ("g", SqlType.VARCHAR),
+        ("v", SqlType.INTEGER)))
+    database.create_table("u", TableSchema.of(
+        ("k", SqlType.INTEGER), ("w", SqlType.INTEGER)))
+    return database
+
+
+def plan_of(sql, database):
+    return push_down_filters(build_plan(parse_select(sql),
+                                        database.catalog))
+
+
+def filters_in(plan):
+    return [node for node in plan.walk() if isinstance(node, LogicalFilter)]
+
+
+class TestJoinPushdown:
+    def test_side_local_conjuncts_sink(self):
+        database = db()
+        plan = plan_of(
+            "select * from t, u where t.k = u.k and t.v > 1 and u.w < 5",
+            database)
+        join = next(n for n in plan.walk() if isinstance(n, LogicalJoin))
+        assert join.condition is not None
+        assert "t.k = u.k" in join.condition.to_sql().replace("(", "") \
+            .replace(")", "")
+        left_filters = filters_in(join.left)
+        right_filters = filters_in(join.right)
+        assert any("v" in f.predicate.to_sql() for f in left_filters)
+        assert any("w" in f.predicate.to_sql() for f in right_filters)
+
+    def test_left_join_keeps_outer_semantics(self):
+        database = db()
+        plan = plan_of(
+            "select * from t left join u on t.k = u.k where u.w is null",
+            database)
+        join = next(n for n in plan.walk() if isinstance(n, LogicalJoin))
+        # The IS NULL test must stay above the left join.
+        assert not filters_in(join.right)
+        top_filters = [f for f in filters_in(plan)
+                       if "w" in f.predicate.to_sql()]
+        assert top_filters
+
+    def test_left_join_pushes_left_side_conjuncts(self):
+        database = db()
+        plan = plan_of(
+            "select * from t left join u on t.k = u.k where t.v > 0",
+            database)
+        join = next(n for n in plan.walk() if isinstance(n, LogicalJoin))
+        assert any("v" in f.predicate.to_sql()
+                   for f in filters_in(join.left))
+
+
+class TestWindowBarrier:
+    def _window_plan(self, database, predicate):
+        scan = LogicalScan(database.table("t"))
+        call = WindowFunction("sum", ColumnRef("v"),
+                              (ColumnRef("g"),),
+                              (SortSpec(ColumnRef("k")),), None)
+        window = LogicalWindow(scan, [(call, "s")])
+        return push_down_filters(
+            LogicalFilter(window, parse_expression(predicate)))
+
+    def test_partition_key_conjunct_sinks(self):
+        plan = self._window_plan(db(), "g = 'a'")
+        window = next(n for n in plan.walk()
+                      if isinstance(n, LogicalWindow))
+        assert isinstance(window.child, LogicalFilter)
+
+    def test_order_key_conjunct_blocked(self):
+        plan = self._window_plan(db(), "k < 5")
+        assert isinstance(plan, LogicalFilter)
+        window = plan.child
+        assert isinstance(window, LogicalWindow)
+        assert isinstance(window.child, LogicalScan)
+
+    def test_mixed_conjunct_blocked(self):
+        plan = self._window_plan(db(), "g = 'a' and v > 0")
+        # v is neither a partition key: whole conjunct g='a' sinks,
+        # v > 0 stays above.
+        window = next(n for n in plan.walk()
+                      if isinstance(n, LogicalWindow))
+        assert isinstance(window.child, LogicalFilter)
+        assert "g" in window.child.predicate.to_sql()
+        assert isinstance(plan, LogicalFilter)
+        assert "v" in plan.predicate.to_sql()
+
+    def test_window_output_conjunct_blocked(self):
+        database = db()
+        scan = LogicalScan(database.table("t"))
+        call = WindowFunction("sum", ColumnRef("v"), (ColumnRef("g"),),
+                              (SortSpec(ColumnRef("k")),), None)
+        window = LogicalWindow(scan, [(call, "s")])
+        plan = push_down_filters(
+            LogicalFilter(window, parse_expression("s > 3")))
+        assert isinstance(plan, LogicalFilter)
+
+
+class TestOtherBarriers:
+    def test_limit_blocks_pushdown(self):
+        database = db()
+        scan = LogicalScan(database.table("t"))
+        limited = LogicalLimit(scan, 3)
+        plan = push_down_filters(
+            LogicalFilter(limited, parse_expression("v > 0")))
+        assert isinstance(plan, LogicalFilter)
+        assert isinstance(plan.child, LogicalLimit)
+
+    def test_sort_is_transparent(self):
+        database = db()
+        scan = LogicalScan(database.table("t"))
+        sorted_plan = LogicalSort(scan, [SortSpec(ColumnRef("k"))])
+        plan = push_down_filters(
+            LogicalFilter(sorted_plan, parse_expression("v > 0")))
+        assert isinstance(plan, LogicalSort)
+        assert isinstance(plan.child, LogicalFilter)
+
+    def test_union_pushes_into_both_branches(self):
+        database = db()
+        plan = plan_of(
+            "select k from (select k from t union all select k from u) z "
+            "where k > 2", database)
+        union = next(n for n in plan.walk() if isinstance(n, LogicalUnion))
+        assert filters_in(union.left)
+        assert filters_in(union.right)
+
+    def test_adjacent_filters_merge(self):
+        database = db()
+        scan = LogicalScan(database.table("t"))
+        stacked = LogicalFilter(LogicalFilter(scan,
+                                              parse_expression("v > 0")),
+                                parse_expression("k < 5"))
+        plan = push_down_filters(stacked)
+        assert isinstance(plan, LogicalFilter)
+        assert isinstance(plan.child, LogicalScan)
+        text = plan.predicate.to_sql()
+        assert "v" in text and "k" in text
+
+    def test_projection_substitution(self):
+        database = db()
+        plan = plan_of(
+            "select z.doubled from (select v * 2 as doubled from t) z "
+            "where z.doubled > 4", database)
+        pushed = [f for f in filters_in(plan)
+                  if isinstance(f.child, LogicalScan)]
+        assert pushed
+        assert "v * 2" in pushed[0].predicate.to_sql().replace("(", "") \
+            .replace(")", "")
+
+    def test_trivial_true_is_preserved(self):
+        database = db()
+        scan = LogicalScan(database.table("t"))
+        plan = push_down_filters(LogicalFilter(scan, lit(True)))
+        assert isinstance(plan, LogicalFilter)

@@ -1,0 +1,107 @@
+"""Tests for Column/TableSchema and plan schemas."""
+
+import pytest
+
+from repro.errors import PlanningError, SchemaError
+from repro.minidb.plan.planschema import Field, PlanSchema
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.types import SqlType
+
+
+class TestTableSchema:
+    def test_names_normalized_lowercase(self):
+        schema = TableSchema.of(("EPC", SqlType.VARCHAR))
+        assert schema.names == ("epc",)
+        assert schema.has_column("Epc")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of(("a", SqlType.INTEGER), ("A", SqlType.VARCHAR))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", SqlType.INTEGER)
+
+    def test_position_and_type(self):
+        schema = TableSchema.of(("a", SqlType.INTEGER),
+                                ("b", SqlType.VARCHAR))
+        assert schema.position_of("b") == 1
+        assert schema.type_of("a") is SqlType.INTEGER
+
+    def test_missing_column_names_alternatives(self):
+        schema = TableSchema.of(("a", SqlType.INTEGER))
+        with pytest.raises(SchemaError, match="available: a"):
+            schema.position_of("zz")
+
+    def test_project_preserves_order(self):
+        schema = TableSchema.of(("a", SqlType.INTEGER),
+                                ("b", SqlType.VARCHAR),
+                                ("c", SqlType.DOUBLE))
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_join_concatenates(self):
+        left = TableSchema.of(("a", SqlType.INTEGER))
+        right = TableSchema.of(("b", SqlType.VARCHAR))
+        assert left.join(right).names == ("a", "b")
+
+    def test_join_duplicate_rejected(self):
+        left = TableSchema.of(("a", SqlType.INTEGER))
+        with pytest.raises(SchemaError):
+            left.join(left)
+
+    def test_covers(self):
+        small = TableSchema.of(("a", SqlType.INTEGER))
+        big = TableSchema.of(("b", SqlType.VARCHAR), ("a", SqlType.INTEGER))
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_checks_types(self):
+        left = TableSchema.of(("a", SqlType.INTEGER))
+        right = TableSchema.of(("a", SqlType.VARCHAR))
+        assert not left.covers(right)
+
+    def test_with_column(self):
+        schema = TableSchema.of(("a", SqlType.INTEGER))
+        extended = schema.with_column(Column("b", SqlType.VARCHAR))
+        assert extended.names == ("a", "b")
+        assert schema.names == ("a",)  # original untouched
+
+
+class TestPlanSchema:
+    def _schema(self):
+        table = TableSchema.of(("epc", SqlType.VARCHAR),
+                               ("rtime", SqlType.TIMESTAMP))
+        return PlanSchema.from_table(table, "c", table_name="caser")
+
+    def test_qualified_resolution(self):
+        schema = self._schema()
+        assert schema.resolve("c", "rtime") == 1
+
+    def test_unqualified_resolution(self):
+        assert self._schema().resolve(None, "epc") == 0
+
+    def test_origin_tracked(self):
+        schema = self._schema()
+        assert schema.fields[0].origin == ("caser", "epc")
+
+    def test_ambiguity_raises(self):
+        schema = self._schema().concat(self._schema().requalify("d"))
+        with pytest.raises(PlanningError, match="ambiguous"):
+            schema.resolve(None, "epc")
+        assert schema.resolve("d", "epc") == 2
+
+    def test_missing_raises(self):
+        with pytest.raises(PlanningError):
+            self._schema().resolve(None, "nope")
+
+    def test_requalify_keeps_origin(self):
+        requalified = self._schema().requalify("x")
+        assert requalified.fields[0].qualifier == "x"
+        assert requalified.fields[0].origin == ("caser", "epc")
+
+    def test_append(self):
+        schema = self._schema().append(Field("flag", SqlType.INTEGER))
+        assert schema.resolve(None, "flag") == 2
+
+    def test_to_table_schema(self):
+        assert self._schema().to_table_schema().names == ("epc", "rtime")

@@ -1,0 +1,109 @@
+"""Table storage and catalog tests."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError, TypeMismatchError
+from repro.minidb.catalog import Catalog
+from repro.minidb.schema import TableSchema
+from repro.minidb.table import Table
+from repro.minidb.types import SqlType
+
+SCHEMA = TableSchema.of(("epc", SqlType.VARCHAR),
+                        ("rtime", SqlType.TIMESTAMP))
+
+
+class TestTable:
+    def test_insert_positional_and_mapping(self):
+        table = Table("r", SCHEMA)
+        table.insert(("e1", 10))
+        table.insert({"rtime": 20, "epc": "e2"})
+        assert table.rows == [("e1", 10), ("e2", 20)]
+
+    def test_mapping_missing_column_becomes_null(self):
+        table = Table("r", SCHEMA)
+        table.insert({"epc": "e1"})
+        assert table.rows == [("e1", None)]
+
+    def test_arity_checked(self):
+        table = Table("r", SCHEMA)
+        with pytest.raises(SchemaError):
+            table.insert(("only-one",))
+
+    def test_type_checked(self):
+        table = Table("r", SCHEMA)
+        with pytest.raises(TypeMismatchError):
+            table.insert((123, 10))
+
+    def test_bulk_load_returns_count(self):
+        table = Table("r", SCHEMA)
+        assert table.bulk_load([("e1", 1), ("e2", 2)]) == 2
+        assert len(table) == 2
+
+    def test_bulk_load_rebuilds_indexes(self):
+        table = Table("r", SCHEMA)
+        index = table.create_index("rtime")
+        table.bulk_load([("e1", 5), ("e2", 1)])
+        assert len(index) == 2
+        assert index.min_key() == 1
+
+    def test_insert_maintains_index(self):
+        table = Table("r", SCHEMA)
+        table.create_index("rtime")
+        table.insert(("e1", 7))
+        table.insert(("e2", 3))
+        index = table.index_on("rtime")
+        from repro.minidb.index import IndexRange
+        assert list(index.scan(IndexRange())) == [1, 0]
+
+    def test_duplicate_index_rejected(self):
+        table = Table("r", SCHEMA)
+        table.create_index("rtime")
+        with pytest.raises(CatalogError):
+            table.create_index("rtime")
+
+    def test_index_on_unknown_column(self):
+        table = Table("r", SCHEMA)
+        with pytest.raises(SchemaError):
+            table.create_index("missing")
+
+    def test_index_on_returns_none_when_absent(self):
+        assert Table("r", SCHEMA).index_on("rtime") is None
+
+    def test_column_values(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1), ("e2", 2)])
+        assert list(table.column_values("rtime")) == [1, 2]
+
+
+class TestCatalog:
+    def test_create_and_fetch(self):
+        catalog = Catalog()
+        catalog.create_table("T1", SCHEMA)
+        assert catalog.table("t1").name == "t1"
+        assert "T1" in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", SCHEMA)
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", SCHEMA)
+
+    def test_missing_table_lists_known(self):
+        catalog = Catalog()
+        catalog.create_table("known", SCHEMA)
+        with pytest.raises(CatalogError, match="known"):
+            catalog.table("absent")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", SCHEMA)
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.create_table("zz", SCHEMA)
+        catalog.create_table("aa", SCHEMA)
+        assert catalog.table_names() == ["aa", "zz"]

@@ -1,0 +1,279 @@
+"""Window-function executor tests.
+
+The SQL/OLAP executor is the engine's most intricate component and the
+one all cleansing rules ride on, so it gets both example-based tests and
+property tests: the optimized sliding-frame evaluation must agree with
+the naive per-row rescan, and both must agree with an independent
+Python reference model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, PlannerOptions, SqlType, TableSchema
+
+SCHEMA = TableSchema.of(("g", SqlType.VARCHAR),
+                        ("t", SqlType.TIMESTAMP),
+                        ("v", SqlType.INTEGER))
+
+
+def make_db(rows):
+    db = Database()
+    db.create_table("w", SCHEMA)
+    db.load("w", rows)
+    return db
+
+
+def run(db, sql, naive=False):
+    options = PlannerOptions(naive_windows=naive)
+    return db.execute(sql, options=options)
+
+
+class TestRowsFrames:
+    def test_lag_style_one_preceding(self):
+        db = make_db([("a", 1, 10), ("a", 2, 20), ("a", 3, 30),
+                      ("b", 1, 99)])
+        rs = run(db, """
+            select g, t, max(v) over (partition by g order by t asc
+                rows between 1 preceding and 1 preceding) as prev
+            from w""")
+        assert rs.rows == [("a", 1, None), ("a", 2, 10), ("a", 3, 20),
+                           ("b", 1, None)]
+
+    def test_following_window(self):
+        db = make_db([("a", 1, 10), ("a", 2, 20), ("a", 3, 30)])
+        rs = run(db, """
+            select t, sum(v) over (partition by g order by t asc
+                rows between 1 following and 2 following) as nxt
+            from w""")
+        assert rs.column("nxt") == [50, 30, None]
+
+    def test_unbounded_both_sides(self):
+        db = make_db([("a", 1, 1), ("a", 2, 2), ("b", 1, 5)])
+        rs = run(db, """
+            select g, count(*) over (partition by g order by t asc
+                rows between unbounded preceding and unbounded following)
+                as n
+            from w""")
+        assert rs.rows == [("a", 2), ("a", 2), ("b", 1)]
+
+    def test_default_frame_is_cumulative_with_peers(self):
+        db = make_db([("a", 1, 1), ("a", 2, 2), ("a", 2, 3), ("a", 3, 4)])
+        rs = run(db, """
+            select t, sum(v) over (partition by g order by t asc) as s
+            from w""")
+        # Rows with t=2 are peers: both see the full peer group.
+        assert rs.column("s") == [1, 6, 6, 10]
+
+    def test_no_order_means_whole_partition(self):
+        db = make_db([("a", 1, 1), ("a", 9, 2)])
+        rs = run(db, "select sum(v) over (partition by g) as s from w")
+        assert rs.column("s") == [3, 3]
+
+
+class TestRangeFrames:
+    def test_range_following_window(self):
+        db = make_db([("a", 0, 1), ("a", 50, 2), ("a", 100, 3),
+                      ("a", 400, 4)])
+        rs = run(db, """
+            select t, count(*) over (partition by g order by t asc
+                range between 1 following and 100 following) as n
+            from w""")
+        assert rs.column("n") == [2, 1, 0, 0]
+
+    def test_range_preceding_window(self):
+        db = make_db([("a", 0, 1), ("a", 50, 2), ("a", 100, 3)])
+        rs = run(db, """
+            select t, sum(v) over (partition by g order by t asc
+                range between 60 preceding and 1 preceding) as s
+            from w""")
+        assert rs.column("s") == [None, 1, 2]
+
+    def test_range_excluding_current_row(self):
+        db = make_db([("a", 10, 7)])
+        rs = run(db, """
+            select max(v) over (partition by g order by t asc
+                range between 1 following and 5 following) as m
+            from w""")
+        assert rs.column("m") == [None]
+
+    def test_range_ties_share_frame(self):
+        db = make_db([("a", 10, 1), ("a", 10, 2), ("a", 11, 3)])
+        rs = run(db, """
+            select count(*) over (partition by g order by t asc
+                range between 0 preceding and 0 following) as n
+            from w""")
+        assert rs.column("n") == [2, 2, 1]
+
+
+class TestFunctions:
+    def test_row_number(self):
+        db = make_db([("a", 3, 0), ("a", 1, 0), ("b", 2, 0)])
+        rs = run(db, """
+            select g, t, row_number() over (partition by g order by t asc)
+                as rn
+            from w""")
+        assert rs.rows == [("a", 1, 1), ("a", 3, 2), ("b", 2, 1)]
+
+    def test_lag_and_lead(self):
+        db = make_db([("a", 1, 10), ("a", 2, 20), ("a", 3, 30)])
+        rs = run(db, """
+            select lag(v) over (partition by g order by t asc) as lg,
+                   lead(v) over (partition by g order by t asc) as ld
+            from w""")
+        assert rs.column("lg") == [None, 10, 20]
+        assert rs.column("ld") == [20, 30, None]
+
+    def test_null_arguments_skipped_by_aggregates(self):
+        db = make_db([("a", 1, None), ("a", 2, 5)])
+        rs = run(db, """
+            select count(v) over (partition by g) as c,
+                   count(*) over (partition by g) as n,
+                   avg(v) over (partition by g) as m
+            from w""")
+        assert rs.rows[0] == (1, 2, 5.0)
+
+    def test_min_max_over_sliding_window(self):
+        db = make_db([("a", i, v) for i, v in
+                      enumerate([5, 1, 4, 2, 8, 3])])
+        rs = run(db, """
+            select min(v) over (partition by g order by t asc
+                rows between 2 preceding and current row) as lo,
+                   max(v) over (partition by g order by t asc
+                rows between 2 preceding and current row) as hi
+            from w""")
+        assert rs.column("lo") == [5, 1, 1, 1, 2, 2]
+        assert rs.column("hi") == [5, 5, 5, 4, 8, 8]
+
+    def test_descending_order(self):
+        db = make_db([("a", 1, 10), ("a", 2, 20), ("a", 3, 30)])
+        rs = run(db, """
+            select t, max(v) over (partition by g order by t desc
+                rows between 1 preceding and 1 preceding) as nxt
+            from w""")
+        by_t = dict(zip(rs.column("t"), rs.column("nxt")))
+        assert by_t == {3: None, 2: 30, 1: 20}
+
+
+# ----------------------------------------------------------------------
+# Property tests: sliding == naive == reference model.
+# ----------------------------------------------------------------------
+
+def _dedupe(rows):
+    """ROWS frames are order-sensitive for tied sort keys, so the
+    property data keeps (group, t) unique."""
+    seen = set()
+    out = []
+    for row in rows:
+        if (row[0], row[1]) in seen:
+            continue
+        seen.add((row[0], row[1]))
+        out.append(row)
+    return out
+
+
+rows_strategy = st.lists(
+    st.tuples(st.sampled_from(["a", "b"]),
+              st.integers(0, 30),
+              st.one_of(st.none(), st.integers(-10, 10))),
+    min_size=0, max_size=40).map(_dedupe)
+
+
+def _bound_sql(offset, is_start):
+    if offset == 0:
+        return "current row"
+    if offset < 0:
+        return f"{-offset} preceding"
+    return f"{offset} following"
+
+
+def reference(rows, func, mode, start, end):
+    """Independent O(n^2) model of one windowed aggregate."""
+    out = []
+    groups = {}
+    for row in sorted(rows, key=lambda r: (r[0], r[1])):
+        groups.setdefault(row[0], []).append(row)
+    for group_rows in groups.values():
+        for i, row in enumerate(group_rows):
+            window = []
+            for j, other in enumerate(group_rows):
+                if mode == "rows":
+                    inside = start <= j - i <= end
+                else:
+                    inside = (row[1] + start) <= other[1] <= (row[1] + end)
+                if inside:
+                    window.append(other[2])
+            values = [v for v in window if v is not None]
+            if func == "count":
+                out.append(len(window))
+            elif not values:
+                out.append(None)
+            elif func == "sum":
+                out.append(sum(values))
+            elif func == "min":
+                out.append(min(values))
+            else:
+                out.append(max(values))
+    return sorted(out, key=lambda v: (v is None, v))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy,
+       func=st.sampled_from(["sum", "min", "max", "count"]),
+       mode=st.sampled_from(["rows", "range"]),
+       bounds=st.tuples(st.integers(-6, 6), st.integers(-6, 6)))
+def test_sliding_matches_naive_and_reference(rows, func, mode, bounds):
+    start, end = min(bounds), max(bounds)
+    frame = (f"{mode} between {_bound_sql(start, True)} "
+             f"and {_bound_sql(end, False)}")
+    argument = "*" if func == "count" else "v"
+    sql = (f"select {func}({argument}) over (partition by g order by t asc "
+           f"{frame}) as x from w")
+    db = make_db(rows)
+    fast = run(db, sql, naive=False).column("x")
+    slow = run(db, sql, naive=True).column("x")
+    assert fast == slow
+    key = lambda v: (v is None, v)  # noqa: E731
+    if func == "count":
+        expected = reference(rows, "count", mode, start, end)
+        assert sorted(fast, key=key) == expected
+    else:
+        expected = reference(rows, func, mode, start, end)
+        assert sorted(fast, key=key) == expected
+
+
+class TestLagLeadOffsets:
+    def test_offset_two(self):
+        db = make_db([("a", i, i * 10) for i in range(4)])
+        rs = run(db, """
+            select lag(v, 2) over (partition by g order by t asc) as l2,
+                   lead(v, 2) over (partition by g order by t asc) as d2
+            from w""")
+        assert rs.column("l2") == [None, None, 0, 10]
+        assert rs.column("d2") == [20, 30, None, None]
+
+    def test_offset_zero_is_identity(self):
+        db = make_db([("a", 0, 7), ("a", 1, 8)])
+        rs = run(db, "select lag(v, 0) over (partition by g "
+                     "order by t asc) as x from w")
+        assert rs.column("x") == [7, 8]
+
+    def test_offset_beyond_partition(self):
+        db = make_db([("a", 0, 7)])
+        rs = run(db, "select lead(v, 5) over (partition by g "
+                     "order by t asc) as x from w")
+        assert rs.column("x") == [None]
+
+    def test_offset_round_trips_in_sql(self):
+        from repro.minidb.sqlparse import parse_expression
+        expr = parse_expression(
+            "lag(v, 3) over (partition by g order by t asc)")
+        assert expr.offset == 3
+        assert parse_expression(expr.to_sql()) == expr
+
+    def test_non_literal_offset_rejected(self):
+        import pytest
+        from repro.errors import SqlSyntaxError
+        from repro.minidb.sqlparse import parse_expression
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("lag(v, t) over (order by t asc)")

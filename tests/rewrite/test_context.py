@@ -1,0 +1,113 @@
+"""Query-context extraction tests (rewrite/context.py)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.minidb import Database, SqlType, TableSchema
+from repro.minidb.sqlparse import parse_select
+from repro.rewrite.context import extract_context
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("r", TableSchema.of(
+        ("epc", SqlType.VARCHAR), ("rtime", SqlType.TIMESTAMP),
+        ("biz_loc", SqlType.VARCHAR), ("biz_step", SqlType.VARCHAR)))
+    database.load("r", [(f"e{i}", i * 10, f"l{i % 3}", f"s{i % 4}")
+                        for i in range(20)])
+    database.create_table("locs", TableSchema.of(
+        ("gln", SqlType.VARCHAR), ("site", SqlType.VARCHAR)))
+    database.load("locs", [(f"l{i}", f"site{i % 2}") for i in range(3)])
+    database.create_table("steps", TableSchema.of(
+        ("biz_step", SqlType.VARCHAR), ("type", SqlType.VARCHAR)))
+    database.load("steps", [(f"s{i}", f"t{i % 2}") for i in range(4)])
+    return database
+
+
+def context_for(sql, db):
+    return extract_context(parse_select(sql), "r", db)
+
+
+class TestSConjuncts:
+    def test_local_conjuncts_extracted_unqualified(self, db):
+        ctx = context_for(
+            "select * from r where rtime < 100 and biz_loc = 'l1'", db)
+        assert {c.to_sql() for c in ctx.s_conjuncts} \
+            == {"(rtime < 100)", "(biz_loc = 'l1')"}
+
+    def test_alias_qualified_conjuncts(self, db):
+        ctx = context_for("select * from r rr where rr.rtime < 100", db)
+        assert [c.to_sql() for c in ctx.s_conjuncts] == ["(rtime < 100)"]
+        assert [c.to_sql() for c in ctx.s_original] == ["(rr.rtime < 100)"]
+
+    def test_reads_table_inside_cte(self, db):
+        ctx = context_for(
+            "with v as (select epc from r where rtime < 50) "
+            "select * from v", db)
+        assert [c.to_sql() for c in ctx.s_conjuncts] == ["(rtime < 50)"]
+
+    def test_join_conjuncts_not_in_s(self, db):
+        ctx = context_for(
+            "select * from r, locs where r.biz_loc = locs.gln "
+            "and r.rtime < 100", db)
+        assert [c.to_sql() for c in ctx.s_conjuncts] == ["(rtime < 100)"]
+        assert any("gln" in c.to_sql() for c in ctx.other_conjuncts)
+
+    def test_ambiguous_shared_column_goes_to_other(self, db):
+        # biz_step exists in both r and steps: an unqualified reference
+        # cannot be classified as reads-local.
+        ctx = context_for(
+            "select * from r, steps where r.biz_step = steps.biz_step "
+            "and type = 't1'", db)
+        assert all("type" not in c.to_sql() for c in ctx.s_conjuncts)
+
+
+class TestDimensions:
+    def test_dimension_join_detected(self, db):
+        ctx = context_for(
+            "select * from r, locs where r.biz_loc = locs.gln "
+            "and locs.site = 'site1' and r.rtime < 100", db)
+        assert len(ctx.dimensions) == 1
+        dim = ctx.dimensions[0]
+        assert dim.fact_key == "biz_loc"
+        assert dim.dim_key == "gln"
+        assert dim.selectivity < 1.0
+        assert [c.to_sql() for c in dim.local_conjuncts] \
+            == ["(locs.site = 'site1')"]
+
+    def test_dimensions_sorted_by_selectivity(self, db):
+        ctx = context_for(
+            "select * from r, locs, steps "
+            "where r.biz_loc = locs.gln and r.biz_step = steps.biz_step "
+            "and locs.site = 'site1'", db)
+        assert len(ctx.dimensions) == 2
+        assert ctx.dimensions[0].selectivity \
+            <= ctx.dimensions[1].selectivity
+        # The dim without a local predicate has selectivity 1.
+        assert ctx.dimensions[1].selectivity == 1.0
+
+    def test_in_conjunct_shape(self, db):
+        ctx = context_for(
+            "select * from r, locs where r.biz_loc = locs.gln "
+            "and locs.site = 'site0'", db)
+        conjunct = ctx.dimensions[0].in_conjunct()
+        sql = conjunct.to_sql()
+        assert "biz_loc" in sql and "SELECT gln" in sql
+        assert "site0" in sql
+
+    def test_explicit_join_syntax_detected(self, db):
+        ctx = context_for(
+            "select * from r join locs on r.biz_loc = locs.gln "
+            "where locs.site = 'site0'", db)
+        assert len(ctx.dimensions) == 1
+
+
+class TestErrors:
+    def test_zero_occurrences(self, db):
+        with pytest.raises(RewriteError, match="0 times"):
+            context_for("select * from locs", db)
+
+    def test_two_occurrences(self, db):
+        with pytest.raises(RewriteError, match="2 times"):
+            context_for("select * from r a, r b where a.epc = b.epc", db)

@@ -1,0 +1,83 @@
+"""Eager materialization tests."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.rewrite import DeferredCleansingEngine
+from repro.rewrite.eager import materialize_cleansed
+from repro.sqlts import RuleRegistry
+from tests.conftest import make_reads_db
+
+DUPLICATE = """
+DEFINE dup ON r CLUSTER BY epc SEQUENCE BY rtime
+AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+ACTION DELETE B
+"""
+
+ROWS = [
+    ("e1", 0, "rd", "a", "s"),
+    ("e1", 100, "rd", "a", "s"),
+    ("e1", 900, "rd", "b", "s"),
+    ("e2", 50, "rd", "c", "s"),
+]
+
+
+@pytest.fixture
+def setup():
+    db = make_reads_db(ROWS)
+    registry = RuleRegistry(db)
+    registry.define(DUPLICATE)
+    return db, registry
+
+
+class TestMaterialize:
+    def test_rows_match_deferred_naive(self, setup):
+        db, registry = setup
+        materialize_cleansed(db, registry, "r", "r_clean")
+        engine = DeferredCleansingEngine(db, registry)
+        eager = db.execute("select * from r_clean").as_set()
+        deferred = engine.execute("select * from r",
+                                  strategies={"naive"}).as_set()
+        assert eager == deferred
+        assert len(eager) == 3  # the duplicate is gone
+
+    def test_source_untouched(self, setup):
+        db, registry = setup
+        materialize_cleansed(db, registry, "r", "r_clean")
+        assert len(db.table("r")) == len(ROWS)
+
+    def test_indexes_and_stats_carried_over(self, setup):
+        db, registry = setup
+        target = materialize_cleansed(db, registry, "r", "r_clean")
+        assert target.index_on("rtime") is not None
+        assert db.stats.get("r_clean").row_count == 3
+
+    def test_queries_on_clean_copy_plan_with_indexes(self, setup):
+        db, registry = setup
+        materialize_cleansed(db, registry, "r", "r_clean")
+        explained = db.explain("select epc from r_clean where rtime < 10")
+        assert "IndexRangeScan" in explained.text
+
+    def test_no_rules_rejected(self, setup):
+        db, _ = setup
+        empty = RuleRegistry()
+        with pytest.raises(RewriteError, match="no cleansing rules"):
+            materialize_cleansed(db, empty, "r", "r_clean")
+
+    def test_existing_target_rejected(self, setup):
+        db, registry = setup
+        materialize_cleansed(db, registry, "r", "r_clean")
+        with pytest.raises(RewriteError, match="already exists"):
+            materialize_cleansed(db, registry, "r", "r_clean")
+
+    def test_mixed_mode(self, setup):
+        """Eager for shared rules, deferred for application rules."""
+        db, registry = setup
+        materialize_cleansed(db, registry, "r", "r_clean")
+        app_registry = RuleRegistry()
+        app_registry.define("""
+            DEFINE app_rule ON r_clean CLUSTER BY epc SEQUENCE BY rtime
+            AS (A) WHERE A.biz_loc != 'c' ACTION KEEP A""")
+        engine = DeferredCleansingEngine(db, app_registry)
+        rows = engine.execute("select epc, biz_loc from r_clean").as_set()
+        assert rows == {("e1", "a"), ("e1", "b")}

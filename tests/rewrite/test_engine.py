@@ -1,0 +1,182 @@
+"""Rewrite-engine integration tests, including the paper's Figure 3
+running examples verbatim."""
+
+import pytest
+
+from repro.minidb import Database, SqlType, TableSchema
+from repro.rewrite import DeferredCleansingEngine
+from repro.sqlts import RuleRegistry
+
+
+def figure3a():
+    """Rule C1 on R1 and query Q1 (reader rule, rtime < t1)."""
+    db = Database()
+    db.create_table("r1", TableSchema.of(
+        ("rid", SqlType.VARCHAR), ("epc", SqlType.VARCHAR),
+        ("rtime", SqlType.TIMESTAMP), ("reader", SqlType.VARCHAR)))
+    t1 = 1000
+    db.load("r1", [("r1", "e1", t1 - 120, "readerY"),
+                   ("r2", "e1", t1 + 120, "readerX")])
+    db.create_index("r1", "rtime")
+    registry = RuleRegistry(db)
+    registry.define("""
+        DEFINE c1 ON r1 CLUSTER BY epc SEQUENCE BY rtime
+        AS (A, *B) WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 5 mins
+        ACTION DELETE A""")
+    return DeferredCleansingEngine(db, registry), t1
+
+
+def figure3b():
+    """Rule C2 on R2 and query Q2 (unbounded duplicate rule, rtime > t2)."""
+    db = Database()
+    db.create_table("r2", TableSchema.of(
+        ("rid", SqlType.VARCHAR), ("epc", SqlType.VARCHAR),
+        ("rtime", SqlType.TIMESTAMP), ("biz_loc", SqlType.VARCHAR)))
+    t2 = 2000
+    db.load("r2", [("r3", "e2", t2 - 120, "locZ"),
+                   ("r4", "e2", t2 + 120, "locZ")])
+    registry = RuleRegistry(db)
+    registry.define("""
+        DEFINE c2 ON r2 CLUSTER BY epc SEQUENCE BY rtime
+        AS (E, F) WHERE E.biz_loc = F.biz_loc
+        ACTION DELETE F""")
+    return DeferredCleansingEngine(db, registry), t2
+
+
+class TestFigure3Examples:
+    def test_q1_c1_correct_under_all_strategies(self):
+        engine, t1 = figure3a()
+        sql = f"select rid from r1 where rtime < {t1}"
+        for strategy in ("naive", "expanded", "joinback"):
+            assert engine.execute(sql, strategies={strategy}).rows == []
+
+    def test_q1_c1_direct_pushdown_would_be_wrong(self):
+        # Shows why the rewrite is needed: cleansing only σ(R1) keeps r1.
+        engine, t1 = figure3a()
+        restricted = engine.database.execute(
+            f"select * from r1 where rtime < {t1}")
+        assert len(restricted) == 1  # r1 survives without its context
+
+    def test_q1_c1_expanded_condition_matches_paper(self):
+        engine, t1 = figure3a()
+        result = engine.rewrite(f"select rid from r1 where rtime < {t1}")
+        rendered = [c.to_sql() for c in result.analysis.ec_conjuncts]
+        assert rendered[0] == f"(rtime < {t1 + 300})"
+
+    def test_q2_c2_expanded_infeasible(self):
+        engine, t2 = figure3b()
+        result = engine.rewrite(f"select rid from r2 where rtime > {t2}")
+        assert not result.analysis.feasible
+        assert all(c.strategy != "expanded" for c in result.candidates)
+
+    def test_q2_c2_joinback_correct(self):
+        engine, t2 = figure3b()
+        sql = f"select rid from r2 where rtime > {t2}"
+        assert engine.execute(sql, strategies={"joinback"}).rows == []
+        assert engine.execute(sql, strategies={"naive"}).rows == []
+
+
+class TestEngineBehaviour:
+    def test_clean_table_passthrough(self):
+        engine, _ = figure3a()
+        engine.database.create_table("other", TableSchema.of(
+            ("x", SqlType.INTEGER)))
+        engine.database.load("other", [(1,), (2,)])
+        result = engine.rewrite("select x from other")
+        assert result.strategy == "passthrough"
+        assert engine.execute("select x from other").as_set() == {(1,), (2,)}
+
+    def test_multiple_occurrences_fall_back_to_naive(self):
+        engine, t1 = figure3a()
+        result = engine.rewrite(
+            "select a.rid from r1 a, r1 b where a.epc = b.epc")
+        assert result.strategy == "naive"
+
+    def test_self_join_naive_is_consistent_with_subquery(self):
+        engine, _ = figure3a()
+        rows = engine.execute(
+            "select a.rid from r1 a, r1 b where a.rid = b.rid").as_set()
+        direct = engine.execute("select rid from r1").as_set()
+        assert rows == direct
+
+    def test_cheapest_candidate_chosen(self):
+        engine, t1 = figure3a()
+        result = engine.rewrite(f"select rid from r1 where rtime < {t1}")
+        best = min(result.candidates, key=lambda c: c.cost)
+        assert result.chosen is best
+        assert set(result.costs()) >= {"naive", "expanded", "joinback"}
+
+    def test_strategy_restriction_respected(self):
+        engine, t1 = figure3a()
+        result = engine.rewrite(f"select rid from r1 where rtime < {t1}",
+                                strategies={"joinback"})
+        assert {c.strategy for c in result.candidates} == {"joinback"}
+
+    def test_execute_with_metrics(self):
+        engine, t1 = figure3a()
+        rs, metrics, result = engine.execute_with_metrics(
+            f"select rid from r1 where rtime < {t1}")
+        assert rs.rows == []
+        assert metrics.operators > 0
+
+    def test_rule_inside_cte_reference(self):
+        engine, t1 = figure3a()
+        sql = (f"with v as (select rid, rtime from r1 where rtime < {t1}) "
+               "select rid from v")
+        for strategy in ("naive", "expanded", "joinback"):
+            assert engine.execute(sql, strategies={strategy}).rows == []
+
+    def test_query_without_reads_predicate(self):
+        engine, _ = figure3a()
+        # No s conjuncts: everything must still be correct.
+        naive = engine.execute("select rid from r1",
+                               strategies={"naive"}).as_set()
+        joinback = engine.execute("select rid from r1",
+                                  strategies={"joinback"}).as_set()
+        assert naive == joinback == {("r2",)}
+
+
+class TestModifyThroughEngine:
+    @pytest.fixture
+    def engine(self):
+        db = Database()
+        db.create_table("r", TableSchema.of(
+            ("epc", SqlType.VARCHAR), ("rtime", SqlType.TIMESTAMP),
+            ("biz_loc", SqlType.VARCHAR)))
+        db.load("r", [
+            ("e1", 100, "loc2"),
+            ("e1", 200, "locA"),
+            ("e2", 100, "locB"),
+        ])
+        registry = RuleRegistry(db)
+        registry.define("""
+            DEFINE rep ON r CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, B) WHERE A.biz_loc = 'loc2' AND B.biz_loc = 'locA'
+              AND B.rtime - A.rtime < 20 mins
+            ACTION MODIFY A.biz_loc = 'loc1'""")
+        return DeferredCleansingEngine(db, registry)
+
+    def test_modified_value_visible_to_query(self, engine):
+        # A biz_loc-only predicate derives no context bound, so the
+        # expanded rewrite is infeasible; naive and join-back must agree.
+        for strategy in ("naive", "joinback"):
+            rs = engine.execute(
+                "select epc from r where biz_loc = 'loc1'",
+                strategies={strategy})
+            assert rs.rows == [("e1",)], strategy
+
+    def test_premodified_value_not_matched(self, engine):
+        for strategy in ("naive", "joinback"):
+            rs = engine.execute(
+                "select epc from r where biz_loc = 'loc2'",
+                strategies={strategy})
+            assert rs.rows == [], strategy
+
+    def test_expanded_infeasible_for_non_key_predicate(self, engine):
+        from repro.errors import RewriteError
+        import pytest as _pytest
+        result = engine.rewrite("select epc from r where biz_loc = 'loc1'")
+        assert not result.analysis.feasible
+        with _pytest.raises(RewriteError):
+            engine.rewrite("select epc from r where biz_loc = 'loc1'",
+                           strategies={"expanded"})

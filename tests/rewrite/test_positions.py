@@ -1,0 +1,101 @@
+"""Position-preserving analysis tests (Definition 2 / Observation 1)."""
+
+from repro.minidb.sqlparse import parse_expression
+from repro.rewrite.positions import correlation_conjuncts, is_position_preserving
+from repro.sqlts import parse_rule
+
+
+def rule_for(pattern, condition, action="DELETE B"):
+    return parse_rule(f"""
+        DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+        AS {pattern} WHERE {condition} ACTION {action}""")
+
+
+class TestPositionPreserving:
+    def _check(self, rule, ref_name, conjunct_sql):
+        ref = rule.reference(ref_name)
+        return is_position_preserving(
+            parse_expression(conjunct_sql), rule, ref)
+
+    def test_cluster_key_equality_allowed(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert self._check(rule, "a", "a.epc = b.epc")
+
+    def test_pattern_side_inequality_allowed(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert self._check(rule, "a", "a.rtime <= b.rtime")
+
+    def test_bounded_before_window_allowed(self):
+        # X before T with X.skey > T.skey - t (Observation 1(a)(2)).
+        rule = rule_for("(A, B)", "B.rtime - A.rtime < 300")
+        assert self._check(rule, "a", "b.rtime - a.rtime < 300")
+
+    def test_gap_creating_bound_rejected(self):
+        # "A at least 100s before B" excludes rows adjacent to the target.
+        rule = rule_for("(A, B)", "B.rtime - A.rtime > 100")
+        assert not self._check(rule, "a", "b.rtime - a.rtime > 100")
+
+    def test_non_key_column_rejected(self):
+        rule = rule_for("(A, B)", "A.biz_loc = B.biz_loc")
+        assert not self._check(rule, "a", "a.biz_loc = b.biz_loc")
+
+    def test_context_local_predicate_rejected(self):
+        rule = rule_for("(A, B)", "A.biz_loc = 'x'")
+        assert not self._check(rule, "a", "a.biz_loc = 'x'")
+
+    def test_after_target_upper_bound_allowed(self):
+        rule = rule_for("(A, B)", "B.rtime - A.rtime < 300", "DELETE A")
+        ref = rule.reference("b")
+        assert is_position_preserving(
+            parse_expression("b.rtime - a.rtime < 300"), rule, ref)
+
+    def test_third_reference_mentioned_rejected(self):
+        rule = rule_for("(A, B, C)", "A.rtime < C.rtime")
+        assert not self._check(rule, "a", "a.rtime < c.rtime")
+
+
+class TestCorrelationConjuncts:
+    def test_implied_conjuncts_always_present(self):
+        rule = rule_for("(A, B)", "A.biz_loc = B.biz_loc")
+        conjuncts = correlation_conjuncts(rule, rule.reference("a"))
+        rendered = {c.to_sql() for c in conjuncts}
+        assert "(a.epc = b.epc)" in rendered
+        assert "(a.rtime <= b.rtime)" in rendered
+
+    def test_position_based_drops_non_preserving(self):
+        rule = rule_for("(A, B)", "A.biz_loc = B.biz_loc")
+        conjuncts = correlation_conjuncts(rule, rule.reference("a"))
+        assert all("biz_loc" not in c.to_sql() for c in conjuncts)
+
+    def test_set_reference_keeps_everything(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, *B) WHERE B.reader = 'rx' AND B.rtime - A.rtime < 300
+            ACTION DELETE A""")
+        conjuncts = correlation_conjuncts(rule, rule.reference("b"))
+        rendered = {c.to_sql() for c in conjuncts}
+        assert "(b.reader = 'rx')" in rendered
+
+    def test_atoms_split_across_or_gives_none(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime or A.biz_loc = 'x'")
+        assert correlation_conjuncts(rule, rule.reference("a")) is None
+
+    def test_group_inside_one_or_branch_allowed(self):
+        rule = parse_rule("""
+            DEFINE r1 ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (X, A, Y)
+            WHERE A.is_pallet = 1 AND
+                  ((X.is_pallet = 0 AND A.rtime - X.rtime < 300)
+                   OR (Y.is_pallet = 0 AND Y.rtime - A.rtime < 300))
+            ACTION MODIFY A.flag = 1""")
+        conjuncts = correlation_conjuncts(rule, rule.reference("x"))
+        assert conjuncts is not None
+        rendered = {c.to_sql() for c in conjuncts}
+        # The time bound is position-preserving and retained.
+        assert any("300" in text for text in rendered)
+
+    def test_unreferenced_context_gets_only_implied(self):
+        rule = rule_for("(A, B)", "B.biz_loc = 'x'")
+        conjuncts = correlation_conjuncts(rule, rule.reference("a"))
+        assert {c.to_sql() for c in conjuncts} == {
+            "(a.epc = b.epc)", "(a.rtime <= b.rtime)"}

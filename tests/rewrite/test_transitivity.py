@@ -1,0 +1,132 @@
+"""Difference-closure and equality-propagation tests."""
+
+from repro.minidb.expressions import BinaryOp, ColumnRef, Literal
+from repro.minidb.sqlparse import parse_expression
+from repro.rewrite.transitivity import (
+    Bound,
+    DifferenceClosure,
+    derive_context_conjuncts,
+)
+
+
+def expr(text):
+    return parse_expression(text)
+
+
+def derive(correlation, query, context="b", target="a"):
+    return derive_context_conjuncts(
+        [expr(c) for c in correlation], [expr(q) for q in query],
+        context, target)
+
+
+def sqls(conjuncts):
+    return {c.to_sql() for c in conjuncts}
+
+
+class TestBoundArithmetic:
+    def test_addition_propagates_strictness(self):
+        assert (Bound(1, False) + Bound(2, False)) == Bound(3, False)
+        assert (Bound(1, True) + Bound(2, False)).strict
+
+    def test_tighter_than(self):
+        assert Bound(1).tighter_than(Bound(2))
+        assert Bound(2, True).tighter_than(Bound(2, False))
+        assert not Bound(2, False).tighter_than(Bound(2, True))
+
+
+class TestClosure:
+    def test_upper_bound_chains(self):
+        closure = DifferenceClosure()
+        assert closure.add_atom(expr("b.t - a.t < 300"))
+        assert closure.add_atom(expr("a.t < 1000"))
+        bounds = closure.derived_bounds("b")
+        assert BinaryOp("<", ColumnRef("t", "b"), Literal(1300)) in bounds
+
+    def test_lower_bound_chains(self):
+        closure = DifferenceClosure()
+        closure.add_atom(expr("a.t - b.t < 300"))   # b.t > a.t - 300
+        closure.add_atom(expr("a.t >= 1000"))
+        bounds = closure.derived_bounds("b")
+        assert BinaryOp(">", ColumnRef("t", "b"), Literal(700)) in bounds
+
+    def test_equality_gives_both_bounds(self):
+        closure = DifferenceClosure()
+        closure.add_atom(expr("b.t = a.t + 10"))
+        closure.add_atom(expr("a.t <= 5"))
+        bounds = sqls(closure.derived_bounds("b"))
+        assert "(b.t <= 15)" in bounds
+
+    def test_unusable_atoms_reported(self):
+        closure = DifferenceClosure()
+        assert not closure.add_atom(expr("a.t * b.t < 5"))
+        assert not closure.add_atom(expr("a.x = 'text'"))
+        assert not closure.add_atom(expr("a.t != 5"))
+
+    def test_no_bound_without_query_constant(self):
+        closure = DifferenceClosure()
+        closure.add_atom(expr("b.t - a.t < 300"))
+        assert closure.derived_bounds("b") == []
+
+    def test_strictness_preserved_through_chain(self):
+        closure = DifferenceClosure()
+        closure.add_atom(expr("b.t - a.t <= 300"))
+        closure.add_atom(expr("a.t < 1000"))
+        bounds = sqls(closure.derived_bounds("b"))
+        assert "(b.t < 1300)" in bounds
+
+
+class TestDeriveContextConjuncts:
+    def test_paper_c1_q1(self):
+        """Figure 3(c): cc1 = B.rtime < t1+5min AND B.reader='readerX'."""
+        derived = derive(
+            correlation=["b.reader = 'readerX'", "b.rtime - a.rtime < 300",
+                         "a.epc = b.epc", "b.rtime >= a.rtime"],
+            query=["a.rtime < 1000"])
+        assert "(b.reader = 'readerX')" in sqls(derived)
+        assert "(b.rtime < 1300)" in sqls(derived)
+
+    def test_paper_c2_q2_infeasible(self):
+        """Figure 3(d): no conjunct derivable for E."""
+        derived = derive(
+            correlation=["e.rtime <= f.rtime", "e.epc = f.epc"],
+            query=["f.rtime > 2000"],
+            context="e", target="f")
+        assert derived == []
+
+    def test_equality_propagates_string_predicates(self):
+        derived = derive(
+            correlation=["b.epc = a.epc"],
+            query=["a.epc = 'e42'"])
+        assert "(b.epc = 'e42')" in sqls(derived)
+
+    def test_equality_propagates_in_lists(self):
+        derived = derive(
+            correlation=["b.epc = a.epc"],
+            query=["a.epc in ('x', 'y')"])
+        assert "(b.epc IN ('x', 'y'))" in sqls(derived)
+
+    def test_equality_propagates_subqueries(self):
+        derived = derive(
+            correlation=["b.epc = a.epc"],
+            query=["a.epc in (select epc from seq)"])
+        assert any("SELECT" in c.to_sql() for c in derived)
+
+    def test_context_local_conjuncts_pass_through(self):
+        derived = derive(
+            correlation=["b.reader = 'readerX'", "b.epc = a.epc"],
+            query=[])
+        assert "(b.reader = 'readerX')" in sqls(derived)
+
+    def test_mixed_column_conjunct_not_propagated(self):
+        derived = derive(
+            correlation=["b.epc = a.epc"],
+            query=["a.rtime < 10"])  # rtime not in any equality class
+        assert derived == []
+
+    def test_deduplication(self):
+        derived = derive(
+            correlation=["b.reader = 'readerX'", "b.reader = 'readerX'",
+                         "b.epc = a.epc"],
+            query=[])
+        assert len([c for c in derived
+                    if "reader" in c.to_sql()]) == 1

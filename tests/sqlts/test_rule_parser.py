@@ -1,0 +1,164 @@
+"""Extended SQL-TS grammar tests."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError, RuleValidationError
+from repro.minidb.expressions import Literal
+from repro.sqlts import parse_rule
+from repro.sqlts.model import ActionKind
+
+
+DUPLICATE = """
+DEFINE duplicate ON caseR FROM caseR CLUSTER BY epc SEQUENCE BY rtime
+AS (A, B)
+WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 mins
+ACTION DELETE B
+"""
+
+
+class TestParsing:
+    def test_full_rule(self):
+        rule = parse_rule(DUPLICATE)
+        assert rule.name == "duplicate"
+        assert rule.on_table == "caser"
+        assert rule.from_table == "caser"
+        assert rule.cluster_key == "epc"
+        assert rule.sequence_key == "rtime"
+        assert [ref.name for ref in rule.pattern] == ["a", "b"]
+        assert rule.action.kind is ActionKind.DELETE
+        assert rule.action.target == "b"
+
+    def test_from_defaults_to_on(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, B) WHERE A.x = B.x ACTION DELETE B""")
+        assert rule.from_table == "t"
+
+    def test_from_can_differ(self):
+        rule = parse_rule("""
+            DEFINE r ON t FROM t_view CLUSTER BY k SEQUENCE BY s
+            AS (A, B) WHERE A.x = B.x ACTION DELETE B""")
+        assert rule.from_table == "t_view"
+
+    def test_set_reference(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, *B) WHERE B.x = 1 AND B.s - A.s < 10 ACTION DELETE A""")
+        assert rule.pattern[1].is_set
+        assert not rule.pattern[0].is_set
+
+    def test_keep_action(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A) WHERE A.x = 1 ACTION KEEP A""")
+        assert rule.action.kind is ActionKind.KEEP
+
+    def test_modify_action_single(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, B) WHERE A.x = B.x ACTION MODIFY A.loc = 'fixed'""")
+        assert rule.action.kind is ActionKind.MODIFY
+        assert rule.action.assignments == {"loc": Literal("fixed")}
+
+    def test_modify_multiple_assignments(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, B) WHERE A.x = B.x
+            ACTION MODIFY A.loc = 'fixed', A.flag = 1""")
+        assert set(rule.action.assignments) == {"loc", "flag"}
+
+    def test_case_insensitive_keywords(self):
+        rule = parse_rule(DUPLICATE.lower())
+        assert rule.name == "duplicate"
+
+    def test_interval_shorthand_in_condition(self):
+        rule = parse_rule(DUPLICATE)
+        assert "300" in rule.condition.to_sql()
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", [
+        "ON t CLUSTER BY k SEQUENCE BY s AS (A) WHERE A.x=1 ACTION KEEP A",
+        "DEFINE r ON t SEQUENCE BY s AS (A) WHERE A.x=1 ACTION KEEP A",
+        "DEFINE r ON t CLUSTER BY k AS (A) WHERE A.x=1 ACTION KEEP A",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s WHERE A.x=1 ACTION KEEP A",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A) ACTION KEEP A",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS (A) WHERE A.x=1",
+        "DEFINE r ON t CLUSTER BY k SEQUENCE BY s AS () WHERE x=1 "
+        "ACTION KEEP A",
+    ])
+    def test_missing_clause_rejected(self, text):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule(text)
+
+    def test_mixed_modify_targets_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, B) WHERE A.x = B.x
+                ACTION MODIFY A.loc = 'x', B.loc = 'y'""")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule(DUPLICATE + " EXTRA TOKENS (")
+
+
+class TestValidation:
+    def test_set_ref_must_be_at_pattern_end(self):
+        with pytest.raises(RuleValidationError, match="first or last"):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, *B, C) WHERE A.x = C.x ACTION DELETE A""")
+
+    def test_target_must_exist(self):
+        with pytest.raises(RuleValidationError, match="not a pattern"):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, B) WHERE A.x = B.x ACTION DELETE Z""")
+
+    def test_target_cannot_be_set_reference(self):
+        with pytest.raises(RuleValidationError, match="singleton"):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, *B) WHERE B.x = 1 ACTION DELETE B""")
+
+    def test_duplicate_reference_names(self):
+        with pytest.raises(RuleValidationError, match="duplicate"):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, A) WHERE A.x = 1 ACTION DELETE A""")
+
+    def test_unknown_reference_in_condition(self):
+        with pytest.raises(RuleValidationError, match="unknown pattern"):
+            parse_rule("""
+                DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+                AS (A, B) WHERE A.x = Z.x ACTION DELETE A""")
+
+
+class TestModelAccessors:
+    def test_target_and_contexts(self):
+        rule = parse_rule(DUPLICATE)
+        assert rule.target.name == "b"
+        assert [ref.name for ref in rule.context_references] == ["a"]
+
+    def test_offsets(self):
+        rule = parse_rule("""
+            DEFINE cycle ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, B, C) WHERE A.x = C.x AND A.x != B.x ACTION DELETE B""")
+        a, b, c = rule.pattern
+        assert rule.offset_of(a) == -1
+        assert rule.offset_of(c) == 1
+
+    def test_columns_of(self):
+        rule = parse_rule(DUPLICATE)
+        assert rule.columns_of("a") == {"biz_loc", "rtime"}
+        assert rule.columns_of("b") == {"biz_loc", "rtime"}
+
+    def test_columns_of_includes_modify_values(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY k SEQUENCE BY s
+            AS (A, B) WHERE A.x = 1 ACTION MODIFY A.y = B.z""")
+        assert "z" in rule.columns_of("b")
+
+    def test_describe_mentions_action(self):
+        assert "DELETE B" in parse_rule(DUPLICATE).describe()

@@ -1,0 +1,54 @@
+"""Error-hierarchy tests: one base class, informative messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        leaves = [
+            errors.CatalogError, errors.SchemaError,
+            errors.TypeMismatchError, errors.SqlSyntaxError,
+            errors.PlanningError, errors.ExecutionError,
+            errors.RuleSyntaxError, errors.RuleValidationError,
+            errors.RewriteError, errors.DataGenError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_minidb_errors_grouped(self):
+        for leaf in (errors.CatalogError, errors.SchemaError,
+                     errors.SqlSyntaxError, errors.PlanningError,
+                     errors.ExecutionError):
+            assert issubclass(leaf, errors.MiniDbError)
+
+    def test_rule_errors_grouped(self):
+        for leaf in (errors.RuleSyntaxError, errors.RuleValidationError):
+            assert issubclass(leaf, errors.RuleError)
+
+    def test_syntax_error_carries_location(self):
+        error = errors.SqlSyntaxError("bad token", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_syntax_error_without_location(self):
+        error = errors.SqlSyntaxError("bad token")
+        assert error.line is None
+        assert "line" not in str(error)
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        from repro.minidb import Database, SqlType, TableSchema
+
+        db = Database()
+        with pytest.raises(errors.ReproError):
+            db.table("missing")
+        with pytest.raises(errors.ReproError):
+            db.execute("select broken syntax from")
+        db.create_table("t", TableSchema.of(("a", SqlType.INTEGER)))
+        with pytest.raises(errors.ReproError):
+            db.execute("select nope from t")
+        with pytest.raises(errors.ReproError):
+            db.load("t", [("not-an-int",)])
