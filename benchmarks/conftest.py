@@ -4,15 +4,66 @@ Scale is controlled by REPRO_BENCH_SCALE (default 12, ~18k case reads)
 so the full suite regenerates every figure in minutes on a laptop; raise
 it for better-separated curves. Workbenches are session-cached through
 the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
+
+Every benchmark run also appends machine-readable results to
+``BENCH_PR1.json`` at the repo root: one wall-clock record per test,
+plus any :class:`ExecutionMetrics` rows a test explicitly records via
+the ``record_metrics`` fixture. The file tracks the perf trajectory
+across PRs without having to parse pytest-benchmark output.
 """
 
+import dataclasses
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
+
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+@pytest.fixture(scope="session")
+def bench_records():
+    """Accumulates result rows; written to BENCH_PR1.json at session end."""
+    records = []
+    yield records
+    payload = {"bench_scale": BENCH_SCALE, "records": records}
+    BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                                  encoding="utf-8")
+
+
+@pytest.fixture(autouse=True)
+def _record_wallclock(request, bench_records):
+    """Wall-clock for every benchmark test, including fixture-free ones."""
+    start = time.perf_counter()
+    yield
+    bench_records.append({
+        "kind": "wallclock",
+        "test": request.node.nodeid,
+        "elapsed_s": round(time.perf_counter() - start, 6),
+    })
+
+
+@pytest.fixture()
+def record_metrics(request, bench_records):
+    """Callable fixture: ``record_metrics(label, metrics, **extra)``.
+
+    Appends one row with the dataclass fields of an ExecutionMetrics
+    (or any dataclass) plus arbitrary extra scalars.
+    """
+    def _record(label, metrics=None, **extra):
+        row = {"kind": "metrics", "test": request.node.nodeid,
+               "label": label}
+        if metrics is not None:
+            row["metrics"] = dataclasses.asdict(metrics)
+        row.update(extra)
+        bench_records.append(row)
+    return _record
 
 
 def settings(anomaly_percent: float = 10.0) -> ExperimentSettings:

@@ -74,11 +74,18 @@ _WORKBENCHES: dict[tuple, Workbench] = {}
 def workbench_for(settings: ExperimentSettings,
                   rule_names: tuple[str, ...] = STANDARD_RULE_ORDER,
                   ) -> Workbench:
-    """Cached workbench for the given settings and rule set."""
+    """Cached workbench for the given settings and rule set.
+
+    Setting ``REPRO_PARALLEL`` to a nonzero worker count turns on the
+    parallel per-sequence cleansing path for every experiment run in
+    this process; unset or ``0`` keeps the serial executor.
+    """
     base_key = (settings.scale, settings.anomaly_percent, settings.seed)
     base = _WORKBENCHES.get(base_key)
     if base is None:
         base = Workbench.create(settings.config(), rule_names)
+        if os.environ.get("REPRO_PARALLEL", "0").strip() not in ("", "0"):
+            base.database.options.parallel_windows = True
         _WORKBENCHES[base_key] = base
         _WORKBENCHES[base_key + (tuple(rule_names),)] = base
         return base

@@ -12,10 +12,16 @@ __all__ = ["Catalog"]
 
 
 class Catalog:
-    """A case-insensitive mapping from table names to :class:`Table`."""
+    """A case-insensitive mapping from table names to :class:`Table`.
+
+    ``version`` is bumped whenever the namespace changes (create/drop);
+    together with the per-table versions it forms the staleness
+    fingerprint used by the prepared-plan cache.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self.version = 0
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -29,6 +35,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(key, schema)
         self._tables[key] = table
+        self.version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -36,6 +43,7 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"no table named {name!r}")
         del self._tables[key]
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:

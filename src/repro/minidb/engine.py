@@ -10,6 +10,7 @@ how the paper compiles m+1 SQL statements on DB2 and keeps the cheapest.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -33,7 +34,7 @@ from repro.minidb.sqlparse.ast import (
 )
 from repro.minidb.table import Table
 
-__all__ = ["Database", "Explained", "ExecutionMetrics"]
+__all__ = ["Database", "Explained", "ExecutionMetrics", "PreparedPlanCache"]
 
 
 @dataclass
@@ -49,6 +50,10 @@ class ExecutionMetrics:
     rows_sorted: int = 0
     sort_operators: int = 0
     operators: int = 0
+    #: Prepared-plan cache counters for the call that produced these
+    #: metrics (filled in by ``Database.execute_with_metrics``).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @classmethod
     def from_plan(cls, plan: PhysicalNode) -> "ExecutionMetrics":
@@ -75,14 +80,71 @@ class Explained:
     estimated_rows: float
 
 
+class PreparedPlanCache:
+    """SQL text -> (parsed AST, costed physical plan) memoization.
+
+    An entry is valid only while the database looks exactly as it did at
+    planning time: the key's *fingerprint* combines the catalog version,
+    the statistics version, every table's data version, and the planner
+    options in effect. Any DDL, load, insert, or RUNSTATS therefore
+    invalidates structurally — no explicit invalidation hooks needed.
+
+    Parsed ASTs are kept separately from plans (parsing never goes
+    stale), so a fingerprint change still skips the lexer/parser.
+    Entries are LRU-evicted beyond ``capacity``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._parsed: OrderedDict[str, SelectStmt] = OrderedDict()
+        self._plans: OrderedDict[tuple, PhysicalNode] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def parsed(self, sql: str) -> SelectStmt | None:
+        statement = self._parsed.get(sql)
+        if statement is not None:
+            self._parsed.move_to_end(sql)
+        return statement
+
+    def remember_parsed(self, sql: str, statement: SelectStmt) -> None:
+        self._parsed[sql] = statement
+        self._parsed.move_to_end(sql)
+        while len(self._parsed) > self.capacity:
+            self._parsed.popitem(last=False)
+
+    def plan(self, sql: str, fingerprint: tuple) -> PhysicalNode | None:
+        entry = self._plans.get((sql, fingerprint))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end((sql, fingerprint))
+        self.hits += 1
+        entry.reset_metrics()
+        return entry
+
+    def remember_plan(self, sql: str, fingerprint: tuple,
+                      plan: PhysicalNode) -> None:
+        self._plans[(sql, fingerprint)] = plan
+        self._plans.move_to_end((sql, fingerprint))
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._parsed.clear()
+        self._plans.clear()
+
+
 class Database:
     """An in-memory relational database with a SQL/OLAP query engine."""
 
-    def __init__(self, options: PlannerOptions | None = None) -> None:
+    def __init__(self, options: PlannerOptions | None = None,
+                 plan_cache_size: int = 256) -> None:
         self.catalog = Catalog()
         self.stats = StatsRepository()
         self.cost_model = CostModel()
         self.options = options or PlannerOptions()
+        self.plan_cache = PreparedPlanCache(plan_cache_size)
 
     # -- DDL / loading ------------------------------------------------------
 
@@ -136,12 +198,40 @@ class Database:
             query = parse_select(query)
         return build_plan(query, self.catalog)
 
+    def _fingerprint(self, options: PlannerOptions) -> tuple:
+        """The staleness key guarding prepared-plan reuse."""
+        return (self.catalog.version, self.stats.version,
+                tuple(table.version for table in self.catalog),
+                tuple(sorted(vars(options).items())))
+
     def plan(self, query: str | SelectStmt | LogicalNode,
              options: PlannerOptions | None = None) -> PhysicalNode:
-        """Produce the costed physical plan without executing it."""
+        """Produce the costed physical plan without executing it.
+
+        Plans for SQL *text* are memoized in :attr:`plan_cache`: repeated
+        workload queries skip the parse and costing passes entirely as
+        long as the catalog, statistics, and table versions are
+        unchanged. A cache hit returns the same plan object with its
+        execution counters reset.
+        """
         self._ensure_stats()
+        effective = options or self.options
+        if isinstance(query, str):
+            fingerprint = self._fingerprint(effective)
+            cached = self.plan_cache.plan(query, fingerprint)
+            if cached is not None:
+                return cached
+            statement = self.plan_cache.parsed(query)
+            if statement is None:
+                statement = parse_select(query)
+                self.plan_cache.remember_parsed(query, statement)
+            planner = Planner(self.catalog, self.stats, self.cost_model,
+                              effective)
+            plan = planner.plan(build_plan(statement, self.catalog))
+            self.plan_cache.remember_plan(query, fingerprint, plan)
+            return plan
         planner = Planner(self.catalog, self.stats, self.cost_model,
-                          options or self.options)
+                          effective)
         return planner.plan(self._to_logical(query))
 
     def explain(self, query: str | SelectStmt | LogicalNode,
@@ -217,7 +307,12 @@ class Database:
             options: PlannerOptions | None = None,
     ) -> tuple[ResultSet, ExecutionMetrics]:
         """Run *query* and also report per-operator work counters."""
+        hits_before = self.plan_cache.hits
+        misses_before = self.plan_cache.misses
         plan = self.plan(query, options)
         rows = list(plan.rows())
         columns = [field.name for field in plan.schema]
-        return (ResultSet(columns, rows), ExecutionMetrics.from_plan(plan))
+        metrics = ExecutionMetrics.from_plan(plan)
+        metrics.plan_cache_hits = self.plan_cache.hits - hits_before
+        metrics.plan_cache_misses = self.plan_cache.misses - misses_before
+        return (ResultSet(columns, rows), metrics)

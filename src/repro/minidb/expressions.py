@@ -63,6 +63,8 @@ _LOGICAL_OPS = {"and", "or"}
 class Expr:
     """Base class for all scalar expression nodes."""
 
+    __slots__ = ()
+
     def bind(self, resolver: Resolver) -> Bound:
         """Compile this expression into a closure evaluating one row."""
         raise NotImplementedError
@@ -106,7 +108,7 @@ class Expr:
         return self.to_sql()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ColumnRef(Expr):
     """A reference to ``qualifier.name`` (qualifier optional)."""
 
@@ -132,7 +134,7 @@ class ColumnRef(Expr):
         return ColumnRef(self.name)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal(Expr):
     """A constant. ``value`` follows the conventions in ``types``."""
 
@@ -190,7 +192,7 @@ def _compare(op: str, left: Any, right: Any) -> bool | None:
     raise AssertionError(op)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp(Expr):
     """A binary operator: comparison, arithmetic, AND/OR."""
 
@@ -229,7 +231,7 @@ class BinaryOp(Expr):
         return f"({self.left.to_sql()} {op} {self.right.to_sql()})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryOp(Expr):
     """Unary NOT or arithmetic negation."""
 
@@ -265,7 +267,7 @@ class UnaryOp(Expr):
         return f"(-{self.operand.to_sql()})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IsNull(Expr):
     """``operand IS [NOT] NULL``."""
 
@@ -289,7 +291,7 @@ class IsNull(Expr):
         return f"({self.operand.to_sql()} {keyword})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Case(Expr):
     """Searched CASE: ``CASE WHEN c THEN v ... [ELSE e] END``."""
 
@@ -338,7 +340,7 @@ class Case(Expr):
         return " ".join(parts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InList(Expr):
     """``operand [NOT] IN (v1, v2, ...)`` with literal items."""
 
@@ -380,7 +382,7 @@ class InList(Expr):
         return f"({self.operand.to_sql()} {keyword} ({body}))"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InSubquery(Expr):
     """``operand [NOT] IN (SELECT ...)``.
 
@@ -498,7 +500,7 @@ def _scalar_function(name: str, args: list[Bound]) -> Bound:
     raise PlanningError(f"unknown scalar function {name!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FuncCall(Expr):
     """A scalar function call. LIKE is desugared to ``like(text, pat)``."""
 
@@ -523,7 +525,7 @@ class FuncCall(Expr):
         return f"{self.name}({body})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AggregateCall(Expr):
     """An aggregate function in a grouped query: ``count(distinct x)`` etc.
 
@@ -566,7 +568,7 @@ UNBOUNDED = "unbounded"
 CURRENT_ROW = "current_row"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowFrame:
     """A ROWS or RANGE frame.
 
@@ -599,7 +601,7 @@ class WindowFrame:
         return f"{self.mode.upper()} BETWEEN {start} AND {end}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SortSpec:
     """One ORDER BY item: an expression plus direction."""
 
@@ -611,7 +613,7 @@ class SortSpec:
         return f"{self.expr.to_sql()} {direction}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowFunction(Expr):
     """``func(arg) OVER (PARTITION BY ... ORDER BY ... frame)``.
 

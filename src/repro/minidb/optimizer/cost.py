@@ -31,6 +31,9 @@ class CostModel:
     DISTINCT_ROW = 0.9
     SEMI_BUILD_ROW = 1.0
     SEMI_PROBE_ROW = 0.8
+    #: Marginal speedup per extra window worker (fork + result-transfer
+    #: overhead keeps scaling well below linear).
+    PARALLEL_EFFICIENCY = 0.7
 
     def seq_scan(self, table_rows: float) -> float:
         return self.SCAN_ROW * table_rows
@@ -59,8 +62,11 @@ class CostModel:
         return self.NESTED_LOOP_PAIR * outer_rows * max(inner_rows, 1.0)
 
     def window(self, input_rows: float, function_count: int,
-               needs_sort: bool) -> float:
+               needs_sort: bool, parallel_workers: int = 1) -> float:
         compute = self.WINDOW_ROW_PER_FN * max(function_count, 1) * input_rows
+        if parallel_workers > 1:
+            # The sort stays serial; only per-partition evaluation scales.
+            compute /= 1.0 + self.PARALLEL_EFFICIENCY * (parallel_workers - 1)
         return compute + (self.sort(input_rows) if needs_sort else 0.0)
 
     def aggregate(self, input_rows: float, aggregate_count: int) -> float:

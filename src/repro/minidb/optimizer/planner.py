@@ -67,7 +67,12 @@ from repro.minidb.plan.physical import (
     SortOp,
     UnionAllOp,
 )
-from repro.minidb.plan.window import WindowFuncSpec, WindowOp
+from repro.minidb.plan.window import (
+    PARALLEL_ROW_THRESHOLD,
+    WindowFuncSpec,
+    WindowOp,
+    configured_worker_count,
+)
 
 __all__ = ["Planner", "PlannerOptions"]
 
@@ -81,6 +86,10 @@ class PlannerOptions:
     order_sharing: bool = True
     naive_windows: bool = False
     push_filters: bool = True
+    #: Evaluate window partitions across a fork-based worker pool (the
+    #: per-sequence parallel cleansing path); still subject to the row
+    #: threshold and ``REPRO_PARALLEL`` gates at execution time.
+    parallel_windows: bool = False
 
 
 class Planner:
@@ -669,12 +678,18 @@ class Planner:
             window_schema = window_schema.append(node.schema.fields[position])
         op = WindowOp(child, window_schema, partition_keys, order_keys,
                       specs, presorted=presorted, ordering=ordering_out,
-                      naive=self._options.naive_windows)
+                      naive=self._options.naive_windows,
+                      parallel=self._options.parallel_windows)
+        workers = 1
+        if self._options.parallel_windows and partition_keys \
+                and child.estimated_rows >= PARALLEL_ROW_THRESHOLD:
+            workers = max(1, configured_worker_count())
         op.estimated_rows = child.estimated_rows
         op.estimated_cost = (child.estimated_cost
                              + self._cost.window(child.estimated_rows,
                                                  len(specs),
-                                                 needs_sort=not presorted))
+                                                 needs_sort=not presorted,
+                                                 parallel_workers=workers))
         return op
 
     # -- sort ---------------------------------------------------------------

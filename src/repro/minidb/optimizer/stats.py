@@ -171,21 +171,41 @@ def _analyze_span_fractions(table: Table, stats: TableStats) -> None:
 
 
 class StatsRepository:
-    """Stats per table name, recomputed on demand and cached."""
+    """Stats per table name, recomputed on demand and cached.
+
+    Entries produced by :meth:`analyze` remember the table's version at
+    analysis time; :meth:`get` treats a version mismatch as staleness and
+    returns None, so statistics never silently survive post-load inserts
+    or index rebuilds. ``version`` counts every repository mutation and
+    participates in the prepared-plan cache fingerprint.
+    """
 
     def __init__(self) -> None:
-        self._stats: dict[str, TableStats] = {}
+        #: name -> (stats, source table or None, table version at analyze).
+        self._stats: dict[str, tuple[TableStats, Table | None, int]] = {}
+        self.version = 0
 
     def set(self, table_name: str, stats: TableStats) -> None:
-        self._stats[table_name.lower()] = stats
+        """Install externally computed stats (never treated as stale)."""
+        self._stats[table_name.lower()] = (stats, None, -1)
+        self.version += 1
 
     def get(self, table_name: str) -> TableStats | None:
-        return self._stats.get(table_name.lower())
+        entry = self._stats.get(table_name.lower())
+        if entry is None:
+            return None
+        stats, table, seen_version = entry
+        if table is not None and table.version != seen_version:
+            self.invalidate(table_name)
+            return None
+        return stats
 
     def analyze(self, table: Table) -> TableStats:
         stats = analyze_table(table)
-        self.set(table.name, stats)
+        self._stats[table.name] = (stats, table, table.version)
+        self.version += 1
         return stats
 
     def invalidate(self, table_name: str) -> None:
-        self._stats.pop(table_name.lower(), None)
+        if self._stats.pop(table_name.lower(), None) is not None:
+            self.version += 1

@@ -49,14 +49,25 @@ Ordering = tuple[tuple[int, bool], ...]
 
 
 class PhysicalNode:
-    """Base class for executable operators."""
+    """Base class for executable operators.
+
+    The hierarchy is slotted: plans for large queries allocate thousands
+    of nodes, and per-row inner loops read operator attributes, so the
+    fixed layout saves both memory and a dict lookup per access.
+    """
+
+    __slots__ = ("schema", "ordering", "estimated_rows", "estimated_cost",
+                 "actual_rows")
 
     schema: PlanSchema
-    ordering: Ordering = ()
-    estimated_rows: float = 0.0
-    estimated_cost: float = 0.0
+    ordering: Ordering
+    estimated_rows: float
+    estimated_cost: float
 
     def __init__(self) -> None:
+        self.ordering = ()
+        self.estimated_rows = 0.0
+        self.estimated_cost = 0.0
         self.actual_rows = 0
 
     def inputs(self) -> Sequence["PhysicalNode"]:
@@ -90,9 +101,23 @@ class PhysicalNode:
         for child in self.inputs():
             yield from child.walk()
 
+    def reset_metrics(self) -> None:
+        """Zero the per-execution counters across the whole subtree.
+
+        Prepared plans are re-executed; without a reset, ``actual_rows``
+        and ``sorted_rows`` would accumulate across runs and corrupt
+        :class:`ExecutionMetrics`.
+        """
+        for node in self.walk():
+            node.actual_rows = 0
+            if hasattr(node, "sorted_rows"):
+                node.sorted_rows = 0
+
 
 class SeqScan(PhysicalNode):
     """Full scan of a stored table in insertion order."""
+
+    __slots__ = ('table',)
 
     def __init__(self, table: Table, schema: PlanSchema) -> None:
         super().__init__()
@@ -110,6 +135,8 @@ class SeqScan(PhysicalNode):
 
 class IndexRangeScan(PhysicalNode):
     """Range scan through a sorted index; output is ordered by the key."""
+
+    __slots__ = ('table', 'index', 'key_range')
 
     def __init__(self, table: Table, schema: PlanSchema,
                  index: SortedIndex, key_range: IndexRange) -> None:
@@ -134,6 +161,8 @@ class IndexRangeScan(PhysicalNode):
 
 class FilterOp(PhysicalNode):
     """Keeps rows where the bound predicate evaluates to TRUE."""
+
+    __slots__ = ('child', 'predicate', '_bound')
 
     def __init__(self, child: PhysicalNode, predicate: Expr,
                  bound: Callable[[tuple], Any]) -> None:
@@ -165,6 +194,8 @@ class ProjectOp(PhysicalNode):
     that are plain column references; it is used to translate the input's
     ordering property through the projection.
     """
+
+    __slots__ = ('child', '_bound_items')
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  bound_items: Sequence[Callable[[tuple], Any]],
@@ -201,6 +232,8 @@ class HashJoinOp(PhysicalNode):
     conjuncts. Left join emits left rows with NULL padding when no match
     survives the residual.
     """
+
+    __slots__ = ('left', 'right', '_left_keys', '_right_keys', 'kind', '_residual', 'residual_expr')
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  schema: PlanSchema,
@@ -256,6 +289,8 @@ class HashJoinOp(PhysicalNode):
 class NestedLoopJoinOp(PhysicalNode):
     """Fallback join for non-equi or cross joins (right side buffered)."""
 
+    __slots__ = ('left', 'right', '_condition', 'condition_expr', 'kind')
+
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  schema: PlanSchema,
                  condition: Callable[[tuple], Any] | None,
@@ -303,6 +338,8 @@ class SemiJoinOp(PhysicalNode):
     no row qualifies; left keys that are NULL never qualify.
     """
 
+    __slots__ = ('left', 'right', 'left_expr', '_bound_left', 'negated')
+
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  left_expr: Expr,
                  bound_left: Callable[[tuple], Any],
@@ -347,6 +384,8 @@ class SemiJoinOp(PhysicalNode):
 
 class SortOp(PhysicalNode):
     """Full sort; NULLs order first on every key."""
+
+    __slots__ = ('child', '_keys', 'sorted_rows')
 
     def __init__(self, child: PhysicalNode,
                  keys: Sequence[tuple[Callable[[tuple], Any], bool]],
@@ -427,6 +466,8 @@ class AggregateOp(PhysicalNode):
     ``count(*)`` passes a None argument and counts every row.
     """
 
+    __slots__ = ('child', '_group_keys', '_aggregate_specs')
+
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  group_keys: Sequence[Callable[[tuple], Any]],
                  aggregate_specs: Sequence[
@@ -473,6 +514,8 @@ class AggregateOp(PhysicalNode):
 class DistinctOp(PhysicalNode):
     """Whole-row duplicate elimination preserving first occurrence."""
 
+    __slots__ = ('child',)
+
     def __init__(self, child: PhysicalNode) -> None:
         super().__init__()
         self.child = child
@@ -497,6 +540,8 @@ class DistinctOp(PhysicalNode):
 
 class UnionAllOp(PhysicalNode):
     """Concatenation of two inputs."""
+
+    __slots__ = ('left', 'right')
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode) -> None:
         super().__init__()
@@ -528,6 +573,8 @@ class PassThroughOp(PhysicalNode):
     and values are unchanged, only qualifiers differ.
     """
 
+    __slots__ = ('child', 'name')
+
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  name: str) -> None:
         super().__init__()
@@ -548,6 +595,8 @@ class PassThroughOp(PhysicalNode):
 
 class LimitOp(PhysicalNode):
     """Stops after *count* rows."""
+
+    __slots__ = ('child', 'count')
 
     def __init__(self, child: PhysicalNode, count: int) -> None:
         super().__init__()

@@ -19,10 +19,22 @@ Execution outline:
 
 A ``naive`` mode re-scans the frame for every row; it exists only for
 the ablation benchmark contrasting the two strategies.
+
+Partitions are independent, so step 3 parallelizes per sequence: when
+the operator was planned with ``parallel`` enabled, the sorted input
+exceeds :data:`PARALLEL_ROW_THRESHOLD` rows, and the platform supports
+fork-based multiprocessing, contiguous partition chunks are evaluated
+across a worker pool. Only chunk index spans travel to the workers
+(they inherit the buffered rows and bound key closures through fork,
+which cannot be pickled) and only the computed window columns travel
+back. ``REPRO_PARALLEL=0`` disables it, ``REPRO_PARALLEL=<n>`` pins the
+worker count, and any pool failure falls back to the serial path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from collections import deque
 from typing import Any, Callable, Iterator, Sequence
 
@@ -32,7 +44,61 @@ from repro.minidb.plan.physical import Ordering, PhysicalNode
 from repro.minidb.plan.planschema import PlanSchema
 from repro.minidb.types import sort_key
 
-__all__ = ["WindowOp", "WindowFuncSpec"]
+__all__ = ["WindowOp", "WindowFuncSpec", "PARALLEL_ROW_THRESHOLD",
+           "configured_worker_count"]
+
+#: Minimum buffered rows before the parallel path is considered; below
+#: this the fork + result-pickling overhead outweighs the win.
+PARALLEL_ROW_THRESHOLD = 5000
+
+#: State inherited by forked pool workers: (operator, partition list).
+#: Set immediately before the pool forks, cleared right after.
+_FORK_STATE: tuple["WindowOp", list[list[tuple]]] | None = None
+
+
+def configured_worker_count() -> int:
+    """Worker-pool size from ``REPRO_PARALLEL``; 0 disables.
+
+    Unset → ``min(4, cpu_count)``; ``0`` (or junk) → disabled; a
+    positive integer pins the count.
+    """
+    env = os.environ.get("REPRO_PARALLEL", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            return 0
+    return min(4, os.cpu_count() or 1)
+
+
+def _eval_chunk(span: tuple[int, int]) -> list[list[list[Any]]]:
+    """Pool worker: window columns for partitions ``span[0]:span[1]``."""
+    operator, partitions = _FORK_STATE
+    start, end = span
+    return [[operator._evaluate(spec, partition)
+             for spec in operator.functions]
+            for partition in partitions[start:end]]
+
+
+def _balanced_spans(partitions: list[list[tuple]],
+                    workers: int) -> list[tuple[int, int]]:
+    """Split partitions into ≤ *workers* contiguous spans of roughly
+    equal total row count (partition sizes are highly skewed: most EPC
+    sequences are short, a few are long)."""
+    total = sum(len(partition) for partition in partitions)
+    target = total / workers
+    spans: list[tuple[int, int]] = []
+    start = 0
+    accumulated = 0
+    for index, partition in enumerate(partitions):
+        accumulated += len(partition)
+        if accumulated >= target and len(spans) < workers - 1:
+            spans.append((start, index + 1))
+            start = index + 1
+            accumulated = 0
+    if start < len(partitions):
+        spans.append((start, len(partitions)))
+    return spans
 
 
 class WindowFuncSpec:
@@ -113,13 +179,17 @@ class _ExtremeState:
 class WindowOp(PhysicalNode):
     """Physical window operator; see module docstring."""
 
+    __slots__ = ("child", "_partition_keys", "_order_keys", "functions",
+                 "presorted", "naive", "parallel", "sorted_rows")
+
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  partition_keys: Sequence[Callable[[tuple], Any]],
                  order_keys: Sequence[tuple[Callable[[tuple], Any], bool]],
                  functions: Sequence[WindowFuncSpec],
                  presorted: bool,
                  ordering: Ordering,
-                 naive: bool = False) -> None:
+                 naive: bool = False,
+                 parallel: bool = False) -> None:
         super().__init__()
         self.child = child
         self.schema = schema
@@ -129,6 +199,7 @@ class WindowOp(PhysicalNode):
         self.presorted = presorted
         self.ordering = ordering
         self.naive = naive
+        self.parallel = parallel
         self.sorted_rows = 0
         for spec in self.functions:
             if spec.frame is not None and spec.frame.mode == "range" \
@@ -160,12 +231,57 @@ class WindowOp(PhysicalNode):
             if self._partition_keys:
                 buffered.sort(key=lambda row: tuple(
                     sort_key(key(row)) for key in self._partition_keys))
-        for partition in self._partitions(buffered):
+        partitions = list(self._partitions(buffered))
+        parallel_columns = self._evaluate_parallel(partitions)
+        if parallel_columns is not None:
+            for partition, computed in zip(partitions, parallel_columns):
+                for row_index, row in enumerate(partition):
+                    self.actual_rows += 1
+                    yield row + tuple(column[row_index]
+                                      for column in computed)
+            return
+        for partition in partitions:
             computed = [self._evaluate(spec, partition)
                         for spec in self.functions]
             for row_index, row in enumerate(partition):
                 self.actual_rows += 1
                 yield row + tuple(column[row_index] for column in computed)
+
+    def _parallel_workers(self, partitions: list[list[tuple]]) -> int:
+        if not self.parallel or len(partitions) < 2:
+            return 0
+        total = sum(len(partition) for partition in partitions)
+        if total < PARALLEL_ROW_THRESHOLD:
+            return 0
+        return min(configured_worker_count(), len(partitions))
+
+    def _evaluate_parallel(
+            self, partitions: list[list[tuple]],
+    ) -> list[list[list[Any]]] | None:
+        """Window columns per partition via a fork pool; None to stay
+        serial (gated off, too small, unsupported platform, or pool
+        failure)."""
+        global _FORK_STATE
+        workers = self._parallel_workers(partitions)
+        if workers < 2:
+            return None
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+        spans = _balanced_spans(partitions, workers)
+        _FORK_STATE = (self, partitions)
+        try:
+            with context.Pool(processes=len(spans)) as pool:
+                chunks = pool.map(_eval_chunk, spans, chunksize=1)
+        except Exception:
+            return None
+        finally:
+            _FORK_STATE = None
+        computed: list[list[list[Any]]] = []
+        for chunk in chunks:
+            computed.extend(chunk)
+        return computed
 
     def _partitions(self, rows: list[tuple]) -> Iterator[list[tuple]]:
         if not rows:

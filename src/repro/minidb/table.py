@@ -19,13 +19,21 @@ __all__ = ["Table"]
 
 
 class Table:
-    """A named, schema-validated collection of row tuples."""
+    """A named, schema-validated collection of row tuples.
+
+    ``version`` is a monotonically increasing counter bumped by every
+    mutating operation (insert, bulk load, index creation). Consumers
+    that memoize anything derived from the table's contents — statistics,
+    prepared plans, materialized cleansing regions — record the version
+    they saw and treat a mismatch as staleness.
+    """
 
     def __init__(self, name: str, schema: TableSchema) -> None:
         self.name = name.lower()
         self.schema = schema
         self.rows: list[tuple] = []
         self.indexes: dict[str, SortedIndex] = {}
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -53,6 +61,7 @@ class Table:
         row = self._coerce_row(values)
         position = len(self.rows)
         self.rows.append(row)
+        self.version += 1
         for index in self.indexes.values():
             key_position = self.schema.position_of(index.column)
             index.insert(row[key_position], position)
@@ -68,6 +77,8 @@ class Table:
         for values in rows:
             append(coerce(values))
             loaded += 1
+        if loaded:
+            self.version += 1
         for index in self.indexes.values():
             self._rebuild_index(index)
         return loaded
@@ -86,6 +97,7 @@ class Table:
         index = SortedIndex(index_name, column)
         self._rebuild_index(index)
         self.indexes[index_name] = index
+        self.version += 1
         return index
 
     def _rebuild_index(self, index: SortedIndex) -> None:

@@ -1,0 +1,370 @@
+"""Cleansed-region cache with predicate subsumption (semantic caching).
+
+The expanded rewrite materializes ``Φ_C(σ_ec(R))`` — the cleansed
+version of exactly the region of the reads table the query (and its
+rules' context needs) can touch. Analytic workloads re-issue near-
+identical queries over overlapping windows, so consecutive queries very
+often need a region *contained* in one already cleansed. This module
+caches those regions and serves subsumed queries from them, skipping
+the sort + window pass entirely.
+
+Correctness of serving query ``Q_new`` (condition ``s_new``, expanded
+condition ``ec_new``) from a cached region ``W = Φ_C(σ_ec_old(R))``
+when ``ec_new ⇒ ec_old``:
+
+* every row that can satisfy ``s_new`` after cleansing satisfies the
+  stable part of ``ec_new`` before cleansing (it is a disjunct of the
+  OR-part and implies the factored bounds), hence is in ``σ_ec_old(R)``;
+* each such row's *context rows* satisfy some context condition
+  ``cc ⊆ ec_new ⇒ ec_old``, so they are in ``σ_ec_old(R)`` too, and the
+  row's window frames over ``σ_ec_old(R)`` equal its frames over ``R``
+  (frame membership depends only on cluster/sequence values, and a
+  subset input can only lose frame rows — none of which are lost here);
+  its cleansed values in ``W`` therefore equal those in ``Φ_C(R)``;
+* the full original condition ``s`` is re-applied over the cached
+  (already cleansed) rows, so the extra rows ``W`` holds beyond
+  ``Q_new``'s region are filtered out.
+
+The subsumption test ``ec_new ⇒ ec_old`` works conjunct-by-conjunct
+with three weapons: structural equality, numeric bound entailment
+through the difference-constraint closure of
+:class:`~repro.rewrite.transitivity.DifferenceClosure`, and disjunction
+handling (a goal OR needs one entailed disjunct; a fact OR is
+case-split, every branch must entail the goal).
+
+Entries are keyed on the ordered rule list and the source table (object
+identity + version counter); a version bump — any insert or load — makes
+the entry stale, and stale entries are dropped on the next lookup.
+Materialized regions live as catalog temp tables under a byte budget
+with LRU eviction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.linear import LinearForm, normalize_comparison
+from repro.errors import CatalogError
+from repro.minidb.engine import Database
+from repro.minidb.expressions import BinaryOp, Expr, Literal
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.table import Table
+from repro.rewrite.transitivity import DifferenceClosure, ZERO_VAR
+
+__all__ = ["CacheOptions", "CleansingRegionCache", "RegionEntry",
+           "conjunction_implies"]
+
+#: Global sequence for temp-table names; engines sharing one database
+#: must never collide.
+_SEQUENCE = itertools.count(1)
+
+#: Recursion cap for OR-fact case splits (ec conjunctions are tiny; the
+#: cap only guards against pathological hand-built predicates).
+_MAX_SPLIT_DEPTH = 4
+
+
+# ---------------------------------------------------------------------------
+# Predicate subsumption
+# ---------------------------------------------------------------------------
+
+
+def _is_or(expr: Expr) -> bool:
+    return isinstance(expr, BinaryOp) and expr.op == "or"
+
+
+def _disjuncts(expr: Expr) -> list[Expr]:
+    if _is_or(expr):
+        return _disjuncts(expr.left) + _disjuncts(expr.right)
+    return [expr]
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _flatten(exprs: Sequence[Expr]) -> list[Expr]:
+    out: list[Expr] = []
+    for expr in exprs:
+        out.extend(_conjuncts(expr))
+    return out
+
+
+def _edge_entails(closed, form: LinearForm, goal_strict: bool) -> bool:
+    """Does the closed constraint graph entail ``form <= 0`` (``< 0``
+    when *goal_strict*)? Mirrors ``DifferenceClosure._ingest_inequality``:
+    only <=2 unit-coefficient variables map onto a graph edge."""
+    refs = list(form.coeffs.items())
+    if not refs:
+        constant = form.constant
+        return constant < 0 or (constant == 0 and not goal_strict)
+    if len(refs) == 1:
+        ref, coeff = refs[0]
+        if coeff == 1:
+            edge = (ref, ZERO_VAR)
+        elif coeff == -1:
+            edge = (ZERO_VAR, ref)
+        else:
+            return False
+    elif len(refs) == 2:
+        (ref_a, coeff_a), (ref_b, coeff_b) = refs
+        if coeff_a == 1 and coeff_b == -1:
+            edge = (ref_a, ref_b)
+        elif coeff_a == -1 and coeff_b == 1:
+            edge = (ref_b, ref_a)
+        else:
+            return False
+    else:
+        return False
+    derived = closed.get(edge)
+    if derived is None:
+        return False
+    limit = -form.constant
+    if derived.value < limit:
+        return True
+    return derived.value == limit and (derived.strict or not goal_strict)
+
+
+def _closure_entails(atoms: Sequence[Expr], goal: Expr) -> bool:
+    """Numeric entailment of one comparison atom from plain fact atoms."""
+    normalized = normalize_comparison(goal)
+    if normalized is None:
+        return False
+    form, op = normalized
+    closure = DifferenceClosure()
+    usable = False
+    for atom in atoms:
+        usable = closure.add_atom(atom) or usable
+    if not usable:
+        return False
+    closed = closure.close()
+    if op == "=":
+        return (_edge_entails(closed, form, False)
+                and _edge_entails(closed, form.negate(), False))
+    if op == "!=":
+        return False
+    if op in (">", ">="):
+        form = form.negate()
+        op = "<" if op == ">" else "<="
+    return _edge_entails(closed, form, op == "<")
+
+
+def _implies(facts: list[Expr], goal: Expr, depth: int) -> bool:
+    if isinstance(goal, Literal) and goal.value is True:
+        return True
+    if any(goal == fact for fact in facts):
+        return True
+    plain = [fact for fact in facts if not _is_or(fact)]
+    if _is_or(goal):
+        for disjunct in _disjuncts(goal):
+            if all(_implies(facts, conjunct, depth)
+                   for conjunct in _conjuncts(disjunct)):
+                return True
+    elif _closure_entails(plain, goal):
+        return True
+    if depth >= _MAX_SPLIT_DEPTH:
+        return False
+    ors = [fact for fact in facts if _is_or(fact)]
+    for index, fact in enumerate(ors):
+        rest = plain + ors[:index] + ors[index + 1:]
+        if all(_implies(rest + _conjuncts(disjunct), goal, depth + 1)
+               for disjunct in _disjuncts(fact)):
+            return True
+    return False
+
+
+def conjunction_implies(facts: Sequence[Expr],
+                        goals: Sequence[Expr]) -> bool:
+    """Does ``AND(facts)`` logically imply ``AND(goals)``?
+
+    Sound but incomplete: True only when every goal conjunct is provably
+    entailed (structurally, through the difference closure, or by OR
+    case analysis); a False answer merely declines the cache hit.
+    """
+    fact_list = _flatten(facts)
+    return all(_implies(fact_list, goal, 0)
+               for goal in _flatten(goals))
+
+
+# ---------------------------------------------------------------------------
+# The region cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheOptions:
+    """Knobs for the cleansed-region cache.
+
+    The cache is opt-in: pass an instance to
+    :class:`~repro.rewrite.engine.DeferredCleansingEngine` to enable it.
+    The default-off posture keeps plan-shape tests and the paper's
+    experiment harness byte-identical to the uncached engine.
+    """
+
+    enabled: bool = True
+    #: Byte budget across all materialized regions (LRU-evicted beyond).
+    max_bytes: int = 64 << 20
+    #: Hard cap on the number of cached regions.
+    max_entries: int = 16
+
+
+@dataclass
+class RegionEntry:
+    """One materialized cleansed region."""
+
+    #: The reads table the region was cleansed from.
+    source_table: Table
+    #: ``source_table.version`` at materialization time.
+    source_version: int
+    #: Ordered names of the rules applied (registry creation order).
+    rule_key: tuple[str, ...]
+    #: Top-level conjuncts of the ec the region was materialized under.
+    ec_conjuncts: list[Expr]
+    #: Catalog temp table holding the cleansed rows.
+    table: Table
+    #: Estimated in-memory footprint of the rows.
+    nbytes: int
+
+
+def _bound_column(conjuncts: Sequence[Expr]) -> str | None:
+    """The first column carrying a unit-coefficient range bound in
+    *conjuncts* — the natural index key for the materialized region,
+    since subsumed probes filter on a tighter range of that column."""
+    for conjunct in conjuncts:
+        normalized = normalize_comparison(conjunct)
+        if normalized is None:
+            continue
+        form, op = normalized
+        if op not in ("<", "<=", ">", ">="):
+            continue
+        ref = form.single_reference() or form.negate().single_reference()
+        if ref is not None:
+            return ref.name
+    return None
+
+
+def _estimate_bytes(rows: list[tuple]) -> int:
+    """Sampled ``sys.getsizeof`` estimate of a row list's footprint."""
+    if not rows:
+        return 256
+    step = max(1, len(rows) // 100)
+    sample = rows[::step][:100]
+    per_row = sum(
+        sys.getsizeof(row) + sum(sys.getsizeof(value) for value in row)
+        for row in sample) / len(sample)
+    return int(per_row * len(rows)) + 256
+
+
+class CleansingRegionCache:
+    """LRU cache of materialized ``Φ_C(σ_ec(R))`` regions.
+
+    ``lookup`` first drops stale entries (source-table version bumped or
+    table replaced in the catalog), then — among entries for the same
+    table and rule list — returns the smallest region whose ec is
+    implied by the probe's ec. ``store`` materializes rows into a fresh
+    ``__region_cache_<n>`` catalog table and evicts least-recently-used
+    regions beyond the byte/entry budget.
+    """
+
+    def __init__(self, database: Database,
+                 options: CacheOptions | None = None) -> None:
+        self.database = database
+        self.options = options or CacheOptions()
+        self._entries: OrderedDict[str, RegionEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def _is_stale(self, entry: RegionEntry) -> bool:
+        if entry.source_table.version != entry.source_version:
+            return True
+        catalog = self.database.catalog
+        name = entry.source_table.name
+        return name not in catalog \
+            or catalog.table(name) is not entry.source_table
+
+    def _drop(self, name: str, *, evicted: bool) -> None:
+        self._entries.pop(name, None)
+        try:
+            self.database.drop_table(name)
+        except CatalogError:
+            pass
+        if evicted:
+            self.evictions += 1
+        else:
+            self.invalidations += 1
+
+    def _prune_stale(self) -> None:
+        for name in list(self._entries):
+            if self._is_stale(self._entries[name]):
+                self._drop(name, evicted=False)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, table: Table, rule_key: tuple[str, ...],
+               ec_conjuncts: Sequence[Expr]) -> RegionEntry | None:
+        """The smallest fresh region subsuming *ec_conjuncts*, or None."""
+        self._prune_stale()
+        best: tuple[str, RegionEntry] | None = None
+        for name, entry in self._entries.items():
+            if entry.source_table is not table \
+                    or entry.rule_key != rule_key:
+                continue
+            if not conjunction_implies(ec_conjuncts, entry.ec_conjuncts):
+                continue
+            if best is None or entry.nbytes < best[1].nbytes:
+                best = (name, entry)
+        if best is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(best[0])
+        self.hits += 1
+        return best[1]
+
+    def store(self, table: Table, rule_key: tuple[str, ...],
+              ec_conjuncts: Sequence[Expr],
+              rows: list[tuple]) -> RegionEntry | None:
+        """Materialize *rows* as a cached region; None if over budget."""
+        nbytes = _estimate_bytes(rows)
+        if nbytes > self.options.max_bytes:
+            return None
+        name = f"__region_cache_{next(_SEQUENCE)}"
+        schema = TableSchema(Column(column.name, column.sql_type)
+                             for column in table.schema)
+        cached = self.database.create_table(name, schema)
+        cached.bulk_load(rows)
+        bound = _bound_column(ec_conjuncts)
+        if bound is not None and bound in schema.names:
+            cached.create_index(bound)
+        entry = RegionEntry(
+            source_table=table, source_version=table.version,
+            rule_key=rule_key, ec_conjuncts=list(ec_conjuncts),
+            table=cached, nbytes=nbytes)
+        self._entries[name] = entry
+        self.stores += 1
+        while len(self._entries) > self.options.max_entries \
+                or self.total_bytes() > self.options.max_bytes:
+            oldest = next(iter(self._entries))
+            if self._entries[oldest] is entry:
+                break
+            self._drop(oldest, evicted=True)
+        return entry
+
+    def clear(self) -> None:
+        for name in list(self._entries):
+            self._drop(name, evicted=False)

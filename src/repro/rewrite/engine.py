@@ -20,13 +20,19 @@ from dataclasses import dataclass, field
 
 from repro.errors import RewriteError
 from repro.minidb.engine import Database, ExecutionMetrics
-from repro.minidb.expressions import Expr, InSubquery, and_all
-from repro.minidb.plan.logical import LogicalNode
+from repro.minidb.expressions import ColumnRef, Expr, InSubquery, and_all
+from repro.minidb.plan.logical import (
+    LogicalFilter,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+)
 from repro.minidb.plan.builder import build_plan
 from repro.minidb.plan.physical import PhysicalNode
 from repro.minidb.result import ResultSet
 from repro.minidb.sqlparse import parse_select
 from repro.minidb.sqlparse.ast import SelectStmt, TableName
+from repro.rewrite.cache import CacheOptions, CleansingRegionCache
 from repro.rewrite.context import QueryContext, extract_context
 from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
 from repro.rewrite.strategies import (
@@ -44,7 +50,8 @@ class Candidate:
     """One candidate rewrite with its optimizer cost estimate."""
 
     label: str
-    strategy: str  # "naive" | "expanded" | "joinback" | "passthrough"
+    #: "naive" | "expanded" | "joinback" | "cached" | "passthrough"
+    strategy: str
     logical: LogicalNode | None
     physical: PhysicalNode
     cost: float
@@ -72,9 +79,15 @@ class RewriteResult:
 class DeferredCleansingEngine:
     """Rewrites and executes queries over rule-governed tables."""
 
-    def __init__(self, database: Database, registry: RuleRegistry) -> None:
+    def __init__(self, database: Database, registry: RuleRegistry,
+                 cache: CacheOptions | None = None) -> None:
         self.database = database
         self.registry = registry
+        #: Cleansed-region cache; None (the default) leaves rewrite
+        #: behavior byte-identical to the uncached engine.
+        self.region_cache = (CleansingRegionCache(database, cache)
+                             if cache is not None and cache.enabled
+                             else None)
 
     # ------------------------------------------------------------------
 
@@ -134,6 +147,14 @@ class DeferredCleansingEngine:
         reads_columns = set(self.database.table(table_name).schema.names)
         analysis = analyze_expanded([compiled.rule for compiled in rules],
                                     context.s_conjuncts, reads_columns)
+        if self.region_cache is not None and analysis.feasible \
+                and "expanded" in allowed:
+            candidate = self._region_candidate(table_name, rules, context,
+                                               analysis)
+            if candidate is not None:
+                return RewriteResult(strategy="cached", chosen=candidate,
+                                     candidates=[candidate],
+                                     analysis=analysis, context=context)
         candidates: list[Candidate] = []
         if "naive" in allowed:
             subplan = naive_subplan(self.database, self.registry, rules,
@@ -231,6 +252,54 @@ class DeferredCleansingEngine:
                               physical.estimated_cost)
         return RewriteResult(strategy="naive", chosen=candidate,
                              candidates=[candidate])
+
+    def _region_candidate(self, table_name: str, rules,
+                          context: QueryContext,
+                          analysis: ExpandedAnalysis) -> Candidate | None:
+        """Serve the query from a cached cleansed region.
+
+        On a subsumption hit the sort + window pass is skipped entirely:
+        the candidate scans the materialized region, filters it by the
+        *stable* query conjuncts (plain ones over columns no rule
+        modifies — the region holds post-cleansing rows, where stable
+        columns still carry their original values, so these conjuncts
+        prune exactly; unstable ones are simply not pushed), and
+        re-applies the full original condition in the outer statement.
+        On a miss the expanded region is materialized once and then
+        served the same way; None means the region did not fit the
+        cache budget and the normal candidate race should run.
+        """
+        cache = self.region_cache
+        table = self.database.table(table_name)
+        rule_key = tuple(compiled.name for compiled in rules)
+        label = "cached"
+        entry = cache.lookup(table, rule_key, analysis.ec_conjuncts)
+        if entry is None:
+            subplan = expanded_subplan(self.database, self.registry, rules,
+                                       table_name, analysis.ec_conjuncts)
+            rows = list(self.database.plan(subplan).rows())
+            entry = cache.store(table, rule_key, analysis.ec_conjuncts,
+                                rows)
+            if entry is None:
+                return None
+            label = "cached-cold"
+        modified: set[str] = set()
+        for compiled in rules:
+            modified.update(compiled.rule.action.assignments)
+        stable = [
+            conjunct for conjunct in context.s_conjuncts
+            if not ({ref.name for ref in conjunct.referenced_columns()}
+                    & modified)
+            and not any(isinstance(node, InSubquery)
+                        for node in conjunct.walk())]
+        region: LogicalNode = LogicalScan(entry.table)
+        predicate = and_all(stable)
+        if predicate is not None:
+            region = LogicalFilter(region, predicate)
+        region = LogicalProject(region, [(ColumnRef(name), name)
+                                         for name in table.schema.names])
+        return self._cost_candidate(label, "cached", context, region,
+                                    kept_s=context.s_original)
 
     def _residual_originals(self, context: QueryContext,
                             analysis: ExpandedAnalysis) -> list[Expr]:

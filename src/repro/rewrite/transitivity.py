@@ -30,10 +30,16 @@ from repro.minidb.expressions import (
     Literal,
 )
 
-__all__ = ["Bound", "derive_context_conjuncts", "DifferenceClosure"]
+__all__ = ["Bound", "derive_context_conjuncts", "DifferenceClosure",
+           "ZERO_VAR"]
 
 #: Virtual node representing the constant 0 in the constraint graph.
 _ZERO = ColumnRef("_zero_", "_const_")
+
+#: Public alias for the zero node, used by consumers that query the
+#: closed constraint graph directly (the region cache's subsumption
+#: check reads ``(var, ZERO_VAR)`` edges to test bound entailment).
+ZERO_VAR = _ZERO
 
 
 @dataclass(frozen=True)

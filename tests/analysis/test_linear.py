@@ -4,7 +4,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.linear import LinearForm, linearize, normalize_comparison
-from repro.minidb.expressions import BinaryOp, ColumnRef, Literal, UnaryOp
+from repro.minidb.expressions import ColumnRef, Literal, UnaryOp
 from repro.minidb.sqlparse import parse_expression
 
 

@@ -12,7 +12,6 @@ from repro.minidb.expressions import (
     FuncCall,
     InList,
     IsNull,
-    Literal,
     UnaryOp,
     and_all,
     column,

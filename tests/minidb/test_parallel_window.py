@@ -1,0 +1,72 @@
+"""Parallel per-partition window evaluation must be invisible.
+
+The fork-pool path splits partitions into contiguous spans and
+evaluates each span in a worker; results must be byte-identical to the
+serial path, and the path must degrade gracefully (small inputs, one
+partition, REPRO_PARALLEL=0, or platforms without fork).
+"""
+
+from repro.minidb import Database, PlannerOptions, SqlType, TableSchema
+from repro.minidb.plan.window import (
+    PARALLEL_ROW_THRESHOLD,
+    configured_worker_count,
+)
+
+SCHEMA = TableSchema.of(("g", SqlType.VARCHAR),
+                        ("t", SqlType.TIMESTAMP),
+                        ("v", SqlType.INTEGER))
+
+WINDOW_SQL = """
+    select g, t, v,
+           sum(v) over (partition by g order by t asc
+               range between 100 preceding and current row) as recent,
+           max(v) over (partition by g order by t asc
+               rows between 1 preceding and 1 preceding) as prev
+    from w"""
+
+
+def make_db(rows, parallel):
+    db = Database(options=PlannerOptions(parallel_windows=parallel))
+    db.create_table("w", SCHEMA)
+    db.load("w", rows)
+    return db
+
+
+def big_rows(partitions=40, per_partition=200):
+    return [(f"g{p:02d}", t * 7, (p * 31 + t) % 97)
+            for p in range(partitions) for t in range(per_partition)]
+
+
+def test_parallel_matches_serial_above_threshold(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    rows = big_rows()
+    assert len(rows) >= PARALLEL_ROW_THRESHOLD
+    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
+    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
+    assert parallel.rows == serial.rows
+
+
+def test_small_input_stays_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    rows = big_rows(partitions=4, per_partition=10)
+    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
+    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
+    assert parallel.rows == serial.rows
+
+
+def test_env_zero_disables_workers(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+    assert configured_worker_count() == 0
+    rows = big_rows(partitions=8, per_partition=20)
+    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
+    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
+    assert parallel.rows == serial.rows
+
+
+def test_env_overrides_worker_count(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "3")
+    assert configured_worker_count() == 3
+    monkeypatch.setenv("REPRO_PARALLEL", "not-a-number")
+    assert configured_worker_count() == 0
+    monkeypatch.delenv("REPRO_PARALLEL")
+    assert configured_worker_count() >= 1

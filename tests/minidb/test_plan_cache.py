@@ -1,0 +1,88 @@
+"""Prepared-plan cache and the version counters that keep it honest."""
+
+from repro.minidb import Database, SqlType, TableSchema
+
+SCHEMA = TableSchema.of(
+    ("a", SqlType.INTEGER),
+    ("b", SqlType.VARCHAR),
+)
+
+ROWS = [(i, f"v{i % 3}") for i in range(40)]
+
+
+def make_db():
+    db = Database()
+    db.create_table("t", SCHEMA)
+    db.load("t", ROWS)
+    return db
+
+
+class TestVersionCounters:
+    def test_load_and_dml_bump_table_version(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        before = table.version
+        db.run("insert into t values (100, 'x')")
+        assert table.version > before
+        before = table.version
+        table.bulk_load([(101, 'y'), (102, 'z')])
+        assert table.version > before
+        before = table.version
+        table.create_index("a")  # index rebuilds count as mutations too
+        assert table.version > before
+
+    def test_catalog_version_bumps_on_create_and_drop(self):
+        db = make_db()
+        before = db.catalog.version
+        db.create_table("u", SCHEMA)
+        assert db.catalog.version > before
+        before = db.catalog.version
+        db.drop_table("u")
+        assert db.catalog.version > before
+
+    def test_stats_invalidated_by_table_version(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        db.stats.analyze(table)
+        assert db.stats.get("t") is not None
+        table.insert((101, "y"))  # direct mutation, no re-analyze
+        assert db.stats.get("t") is None  # stale entry must not be served
+
+
+class TestPreparedPlanCache:
+    SQL = "select b, count(*) as n from t where a >= 5 group by b"
+
+    def test_repeated_sql_hits_and_matches(self):
+        db = make_db()
+        first = db.execute(self.SQL)
+        assert db.plan_cache.misses >= 1
+        hits_before = db.plan_cache.hits
+        second = db.execute(self.SQL)
+        assert db.plan_cache.hits == hits_before + 1
+        assert sorted(first.rows) == sorted(second.rows)
+
+    def test_metrics_report_cache_counters(self):
+        db = make_db()
+        _, metrics = db.execute_with_metrics(self.SQL)
+        assert metrics.plan_cache_misses == 1
+        _, metrics = db.execute_with_metrics(self.SQL)
+        assert metrics.plan_cache_hits == 1
+        assert metrics.plan_cache_misses == 0
+
+    def test_dml_invalidates_cached_plan(self):
+        db = make_db()
+        db.execute(self.SQL)
+        db.run("insert into t values (7, 'v0')")
+        hits_before = db.plan_cache.hits
+        result = db.execute(self.SQL)
+        assert db.plan_cache.hits == hits_before  # fingerprint changed
+        # And the re-planned query sees the new row.
+        assert dict(result.rows)["v0"] == \
+            sum(1 for a, b in ROWS if a >= 5 and b == "v0") + 1
+
+    def test_metrics_do_not_accumulate_across_reexecution(self):
+        db = make_db()
+        _, first = db.execute_with_metrics(self.SQL)
+        _, second = db.execute_with_metrics(self.SQL)
+        # A cached (re-executed) plan must reset actual_rows counters.
+        assert second.rows_emitted == first.rows_emitted

@@ -1,0 +1,259 @@
+"""Cleansing-region cache: subsumption, correctness, invalidation.
+
+The cache serves Φ_C(σ_ec(R)) materializations to later queries whose
+cleansing region is provably contained in a cached one (predicate
+subsumption via the difference-closure machinery). Correctness demands
+that a cache hit is *observationally invisible*: identical rows to a
+cold rewrite, and staleness detected whenever the base table changes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, SqlType, TableSchema
+from repro.minidb.sqlparse import parse_expression
+from repro.rewrite import DeferredCleansingEngine
+from repro.rewrite.cache import (
+    CacheOptions,
+    CleansingRegionCache,
+    conjunction_implies,
+)
+from repro.sqlts import RuleRegistry
+
+SCHEMA = TableSchema.of(
+    ("epc", SqlType.VARCHAR),
+    ("rtime", SqlType.TIMESTAMP),
+    ("reader", SqlType.VARCHAR),
+    ("biz_loc", SqlType.VARCHAR),
+)
+
+RULES = {
+    "duplicate": """
+        DEFINE duplicate ON r CLUSTER BY epc SEQUENCE BY rtime
+        AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 50
+        ACTION DELETE B""",
+    "reader": """
+        DEFINE reader ON r CLUSTER BY epc SEQUENCE BY rtime
+        AS (A, *B) WHERE B.reader = 'rx' AND B.rtime - A.rtime < 60
+        ACTION DELETE A""",
+    "replacing": """
+        DEFINE replacing ON r CLUSTER BY epc SEQUENCE BY rtime
+        AS (A, B) WHERE A.biz_loc = 'l2' AND B.biz_loc = 'la'
+          AND B.rtime - A.rtime < 80
+        ACTION MODIFY A.biz_loc = 'l1'""",
+    "cycle": """
+        DEFINE cycle ON r CLUSTER BY epc SEQUENCE BY rtime
+        AS (A, B, C) WHERE A.biz_loc = C.biz_loc AND A.biz_loc != B.biz_loc
+        ACTION DELETE B""",
+}
+
+ROW = st.tuples(
+    st.sampled_from(["e1", "e2", "e3"]),
+    st.integers(0, 400),
+    st.sampled_from(["r0", "r1", "rx"]),
+    st.sampled_from(["l1", "l2", "la", "lb"]),
+)
+
+
+def _unique_sequence_times(rows):
+    seen = set()
+    out = []
+    for row in rows:
+        if (row[0], row[1]) in seen:
+            continue
+        seen.add((row[0], row[1]))
+        out.append(row)
+    return out
+
+
+def make_engines(rows, rule_names):
+    """One database shared by a cached and an uncached engine."""
+    db = Database()
+    db.create_table("r", SCHEMA)
+    db.load("r", rows)
+    db.create_index("r", "rtime")
+    registry = RuleRegistry()
+    for name in rule_names:
+        registry.define(RULES[name])
+    cached = DeferredCleansingEngine(db, registry, cache=CacheOptions())
+    plain = DeferredCleansingEngine(db, registry)
+    return db, cached, plain
+
+
+def q(predicate):
+    suffix = f" where {predicate}" if predicate else ""
+    return f"select epc, rtime, reader, biz_loc from r{suffix}"
+
+
+class TestConjunctionImplies:
+    def imp(self, facts, goals):
+        return conjunction_implies(
+            [parse_expression(f) for f in facts],
+            [parse_expression(g) for g in goals])
+
+    def test_structural_and_reflexive(self):
+        assert self.imp(["rtime <= 100"], ["rtime <= 100"])
+        assert self.imp(["biz_loc = 'l1'"], ["biz_loc = 'l1'"])
+
+    def test_range_tightening(self):
+        assert self.imp(["rtime <= 100"], ["rtime <= 200"])
+        assert self.imp(["rtime < 100"], ["rtime <= 100"])
+        assert self.imp(["rtime >= 50"], ["rtime >= 10"])
+        assert not self.imp(["rtime <= 200"], ["rtime <= 100"])
+        assert not self.imp(["rtime <= 100"], ["rtime < 100"])
+
+    def test_conjunction_of_goals_needs_every_goal(self):
+        assert self.imp(["rtime <= 100", "rtime >= 10"],
+                        ["rtime <= 150", "rtime >= 5"])
+        assert not self.imp(["rtime <= 100"],
+                            ["rtime <= 150", "rtime >= 5"])
+
+    def test_disjunctive_goal(self):
+        assert self.imp(["rtime <= 100"],
+                        ["rtime <= 150 or biz_loc = 'l1'"])
+
+    def test_disjunctive_fact_case_split(self):
+        assert self.imp(["rtime <= 50 or rtime <= 90"], ["rtime <= 100"])
+        assert not self.imp(["rtime <= 50 or rtime <= 300"],
+                            ["rtime <= 100"])
+
+    def test_unrelated_columns_decline(self):
+        # Sound but incomplete: unknown structure must answer False.
+        assert not self.imp(["reader = 'r1'"], ["rtime <= 100"])
+
+
+ROWS = [("e1", t, "r0" if t % 3 else "rx", loc)
+        for t, loc in zip(range(0, 400, 10),
+                          ["l1", "l2", "la", "lb"] * 10)]
+
+
+class TestRegionCacheHits:
+    def test_narrower_window_hits_and_matches(self):
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        wide, narrow = q("rtime <= 300"), q("rtime <= 120")
+
+        assert sorted(cached.execute(wide).rows) == \
+            sorted(plain.execute(wide).rows)
+        cache = cached.region_cache
+        assert cache.stores == 1 and cache.misses == 1
+
+        assert sorted(cached.execute(narrow).rows) == \
+            sorted(plain.execute(narrow).rows)
+        assert cache.hits == 1
+
+    def test_wider_window_is_a_miss(self):
+        db, cached, plain = make_engines(ROWS, ("duplicate",))
+        cached.execute(q("rtime <= 100"))
+        assert sorted(cached.execute(q("rtime <= 300")).rows) == \
+            sorted(plain.execute(q("rtime <= 300")).rows)
+        assert cached.region_cache.hits == 0
+        assert cached.region_cache.stores == 2
+
+    def test_insert_invalidates(self):
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        sql = q("rtime <= 300")
+        cached.execute(sql)
+        cached.execute(sql)
+        cache = cached.region_cache
+        assert cache.hits == 1
+
+        db.run("insert into r values ('e9', 155, 'rx', 'la')")
+
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cache.invalidations == 1
+        assert cache.hits == 1  # stale entry must not be served
+
+    def test_infeasible_rules_bypass_cache(self):
+        db, cached, plain = make_engines(ROWS, ("cycle",))
+        sql = q("rtime <= 300")
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert len(cached.region_cache) == 0
+
+    def test_disabled_cache_has_no_region_cache(self):
+        db = Database()
+        db.create_table("r", SCHEMA)
+        registry = RuleRegistry()
+        registry.define(RULES["duplicate"])
+        engine = DeferredCleansingEngine(db, registry,
+                                         cache=CacheOptions(enabled=False))
+        assert engine.region_cache is None
+
+
+def _cache_db():
+    db = Database()
+    db.create_table("r", SCHEMA)
+    db.load("r", ROWS)
+    db.create_index("r", "rtime")
+    return db
+
+
+class TestEviction:
+    def test_lru_entry_count_budget(self):
+        db = _cache_db()
+        table = db.catalog.table("r")
+        cache = CleansingRegionCache(db, CacheOptions(max_entries=2))
+        rows = [tuple(r) for r in ROWS]
+        # Distinct rule keys so the entries can never subsume each other.
+        for key in ("a", "b", "c"):
+            cache.store(table, (key,),
+                        (parse_expression("rtime <= 300"),), rows)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry ("a") was evicted; its temp table is gone too.
+        assert cache.lookup(table, ("a",),
+                            (parse_expression("rtime <= 300"),)) is None
+        assert cache.lookup(table, ("c",),
+                            (parse_expression("rtime <= 100"),)) is not None
+        assert sum(name.startswith("__region_cache_")
+                   for name in db.catalog.table_names()) == 2
+
+    def test_byte_budget_rejects_oversized_region(self):
+        db = _cache_db()
+        cache = CleansingRegionCache(db, CacheOptions(max_bytes=1))
+        stored = cache.store(db.catalog.table("r"), ("duplicate",),
+                             (parse_expression("rtime <= 300"),),
+                             [tuple(r) for r in ROWS])
+        assert stored is None
+        assert len(cache) == 0
+
+
+PREDS = st.sampled_from(["rtime <= {t}", "rtime <= {t} and reader != 'r1'"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.lists(ROW, min_size=0, max_size=30)
+       .map(_unique_sequence_times),
+       rule_names=st.lists(st.sampled_from(sorted(RULES)), min_size=1,
+                           max_size=2, unique=True),
+       predicate=PREDS,
+       t_wide=st.integers(100, 400),
+       narrows=st.lists(st.integers(0, 400), min_size=1, max_size=4))
+def test_cached_results_identical_to_cold(rows, rule_names, predicate,
+                                          t_wide, narrows):
+    """Property: with the cache on, every query — hit, cold store, or
+    bypass — returns exactly the rows of an uncached engine."""
+    db, cached, plain = make_engines(rows, rule_names)
+    workload = [predicate.format(t=t_wide)]
+    workload += [predicate.format(t=min(t, t_wide)) for t in narrows]
+    for pred in workload:
+        sql = q(pred)
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows), (pred, rule_names)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.lists(ROW, min_size=1, max_size=25)
+       .map(_unique_sequence_times),
+       extra=ROW, t=st.integers(50, 400))
+def test_insert_invalidation_property(rows, extra, t):
+    """Property: an INSERT between identical queries never yields stale
+    rows."""
+    db, cached, plain = make_engines(rows, ("reader", "duplicate"))
+    sql = q(f"rtime <= {t}")
+    cached.execute(sql)
+    values = ", ".join(repr(v) for v in extra)
+    db.run(f"insert into r values ({values})")
+    assert sorted(cached.execute(sql).rows) == \
+        sorted(plain.execute(sql).rows)

@@ -6,8 +6,6 @@ time, so they are stable on any machine.
 
 import pytest
 
-from repro.minidb.engine import ExecutionMetrics
-
 
 @pytest.fixture(scope="module")
 def bench(request):

@@ -11,7 +11,6 @@ import pytest
 from repro.errors import RuleValidationError
 from repro.minidb.plan.logical import LogicalScan, LogicalWindow
 from repro.sqlts import compile_rule, parse_rule
-from tests.conftest import make_reads_db
 
 
 def apply_rule(db, rule_text):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RuleError
-from repro.minidb import Database, SqlType, TableSchema
+from repro.minidb import Database
 from repro.sqlts import RuleRegistry
 from repro.sqlts.registry import RULES_TABLE
 
