@@ -52,7 +52,14 @@ class AnomalyCounts:
 class AnomalyInjector:
     """Mutates a :class:`GeneratedData`'s case reads in place."""
 
-    def __init__(self, data: "GeneratedData", rng: random.Random) -> None:
+    def __init__(self, data: "GeneratedData",
+                 rng: random.Random | None = None, *,
+                 seed: int | None = None) -> None:
+        # Injection draws every random choice from a single plumbed RNG:
+        # the generator's own (shared stream), or one seeded here from
+        # *seed* / ``config.seed`` for standalone reproducible use.
+        if rng is None:
+            rng = random.Random(data.config.seed if seed is None else seed)
         self.data = data
         self.rng = rng
         self.config = data.config

@@ -63,10 +63,19 @@ class RFIDGen:
 
     # ------------------------------------------------------------------
 
-    def generate(self) -> GeneratedData:
-        """Produce the full dataset, including anomalies if configured."""
+    def generate(self, seed: int | None = None) -> GeneratedData:
+        """Produce the full dataset, including anomalies if configured.
+
+        All randomness flows from one :class:`random.Random` seeded here
+        and plumbed through topology construction, shipment simulation,
+        and anomaly injection — there is no module-level RNG anywhere in
+        ``datagen``, so a (config, seed) pair fully determines the
+        dataset. *seed* overrides ``config.seed``, letting callers (the
+        differential fuzzer in particular) draw many reproducible
+        datasets from one config.
+        """
         config = self.config
-        rng = random.Random(config.seed)
+        rng = random.Random(config.seed if seed is None else seed)
         topology = Topology(config, rng)
         data = GeneratedData(config=config)
         self._reference_tables(data, topology, rng)

@@ -1,0 +1,284 @@
+"""The differential oracle: one case, every execution path, one diff.
+
+The paper's correctness claims (Theorem behind Q_e, §5.3's join-back
+argument, Definition 2's position preservation) all reduce to a single
+testable property: every strategy answers exactly ``Q[C_1..C_n]``. The
+oracle executes one :class:`~repro.fuzz.cases.FuzzCase` through each
+path and diffs canonicalized row bags against the naive strategy
+(cleanse everything, then query — the executable definition of
+``Q[C_1..C_n]``):
+
+========================  =============================================
+``expanded``              Q_e when feasible (skipped when the Figure 4
+                          analysis is infeasible, as the paper allows)
+``joinback``              Q_j (always applicable)
+``chosen``                the engine's cost-based pick
+``cached-cold``           region cache enabled, first execution
+                          (materializes the region)
+``cached-warm``           second execution served from the region
+``cached-invalidated``    third execution after a table-version bump
+                          (must not serve the stale region)
+``eager``                 materialize Φ_C(R) up front, query the copy
+``plan-cache``            the eager query re-run through the prepared-
+                          plan cache (hit must reproduce the miss)
+``parallel``              naive re-run with fork-pool window evaluation
+                          forced on (threshold lowered, 2 workers)
+========================  =============================================
+
+Each label diffs as a bag (duplicates matter); any mismatch — or any
+unexpected exception — becomes a :class:`Divergence`. Errors never
+abort the sweep: one broken path still reports the others.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import RewriteError
+from repro.fuzz.cases import READS_COLUMNS, FuzzCase
+from repro.minidb.engine import Database
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.optimizer.planner import PlannerOptions
+from repro.minidb.types import SqlType
+from repro.rewrite.cache import CacheOptions
+from repro.rewrite.eager import materialize_cleansed
+from repro.rewrite.engine import DeferredCleansingEngine
+from repro.sqlts.registry import RuleRegistry
+
+__all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
+           "build_database", "forced_parallel_windows"]
+
+#: Every comparison the oracle can run, in execution order.
+ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
+              "cached-warm", "cached-invalidated", "eager", "plan-cache",
+              "parallel")
+
+_READS_SCHEMA = TableSchema.of(
+    ("epc", SqlType.VARCHAR),
+    ("rtime", SqlType.TIMESTAMP),
+    ("reader", SqlType.VARCHAR),
+    ("biz_loc", SqlType.VARCHAR),
+    ("biz_step", SqlType.VARCHAR),
+)
+
+
+@dataclass
+class Divergence:
+    """One strategy disagreeing with the naive baseline."""
+
+    label: str
+    #: "rows" (bag mismatch) or "error" (unexpected exception).
+    kind: str
+    detail: str = ""
+    missing: list[tuple] = field(default_factory=list)
+    unexpected: list[tuple] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.kind == "error":
+            return f"{self.label}: raised {self.detail}"
+        return (f"{self.label}: {len(self.missing)} missing, "
+                f"{len(self.unexpected)} unexpected rows")
+
+
+@dataclass
+class OracleReport:
+    """The outcome of one differential sweep."""
+
+    case: FuzzCase
+    baseline: tuple[tuple, ...] = ()
+    #: label -> "ok" | "skipped: <why>" | "DIVERGED".
+    results: dict[str, str] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def diverged_labels(self) -> set[str]:
+        return {divergence.label for divergence in self.divergences}
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.case.describe()}: all strategies agree"
+        parts = "; ".join(d.summary() for d in self.divergences)
+        return f"{self.case.describe()}: DIVERGED — {parts}"
+
+
+def build_database(case: FuzzCase) -> tuple[Database, RuleRegistry]:
+    """A fresh database + registry holding exactly the case's data."""
+    db = Database()
+    db.create_table("caser", _READS_SCHEMA)
+    db.load("caser", case.reads_rows)
+    for column in ("epc", "rtime", "biz_loc", "biz_step"):
+        db.create_index("caser", column)
+    seen: set[str] = set()
+    for dimension in case.query.dimensions:
+        if dimension.name in seen:
+            continue
+        seen.add(dimension.name)
+        schema = TableSchema(Column(name, SqlType(type_value))
+                             for name, type_value in dimension.schema)
+        db.create_table(dimension.name, schema)
+        db.load(dimension.name, dimension.rows)
+        db.create_index(dimension.name, dimension.dim_key)
+    registry = RuleRegistry(db)
+    for text in case.rules:
+        registry.define(text)
+    return db, registry
+
+
+@contextlib.contextmanager
+def forced_parallel_windows(workers: int = 2,
+                            threshold: int = 1) -> Iterator[None]:
+    """Force the per-sequence parallel window path on for a block.
+
+    Fuzz datasets sit far below ``PARALLEL_ROW_THRESHOLD``, so the
+    threshold is lowered and the worker count pinned via
+    ``REPRO_PARALLEL`` for the duration; both are restored afterwards.
+    """
+    from repro.minidb.plan import window
+
+    saved_threshold = window.PARALLEL_ROW_THRESHOLD
+    saved_env = os.environ.get("REPRO_PARALLEL")
+    window.PARALLEL_ROW_THRESHOLD = threshold
+    os.environ["REPRO_PARALLEL"] = str(workers)
+    try:
+        yield
+    finally:
+        window.PARALLEL_ROW_THRESHOLD = saved_threshold
+        if saved_env is None:
+            os.environ.pop("REPRO_PARALLEL", None)
+        else:
+            os.environ["REPRO_PARALLEL"] = saved_env
+
+
+def _diff(baseline: Sequence[tuple],
+          got: Sequence[tuple]) -> tuple[list[tuple], list[tuple]]:
+    """Bag difference: (rows only in baseline, rows only in got)."""
+    expected, actual = Counter(baseline), Counter(got)
+    missing = sorted((expected - actual).elements(), key=repr)
+    unexpected = sorted((actual - expected).elements(), key=repr)
+    return missing, unexpected
+
+
+def run_case(case: FuzzCase,
+             labels: Sequence[str] | None = None) -> OracleReport:
+    """Differentially execute *case*; *labels* restricts the sweep
+    (the shrinker re-checks only the originally diverged paths)."""
+    wanted = set(ALL_LABELS if labels is None else labels)
+    report = OracleReport(case=case)
+    sql = case.query.sql("caser")
+
+    db, registry = build_database(case)
+    engine = DeferredCleansingEngine(db, registry)
+    report.baseline = engine.execute(sql, strategies={"naive"}).canonical()
+
+    def compare(label: str, execute: Callable[[], tuple[tuple, ...]],
+                ) -> None:
+        if label not in wanted:
+            return
+        try:
+            got = execute()
+        except RewriteError as error:
+            # Infeasibility is a legitimate outcome (Q_e = null), not a
+            # divergence; the strategy simply has nothing to check.
+            report.results[label] = f"skipped: {error}"
+            return
+        except Exception as error:  # noqa: BLE001 — the whole point
+            report.results[label] = "DIVERGED"
+            report.divergences.append(Divergence(
+                label=label, kind="error",
+                detail=f"{type(error).__name__}: {error}"))
+            return
+        if got == report.baseline:
+            report.results[label] = "ok"
+            return
+        missing, unexpected = _diff(report.baseline, got)
+        report.results[label] = "DIVERGED"
+        report.divergences.append(Divergence(
+            label=label, kind="rows", missing=missing,
+            unexpected=unexpected))
+
+    compare("expanded", lambda: engine.execute(
+        sql, strategies={"expanded"}).canonical())
+    compare("joinback", lambda: engine.execute(
+        sql, strategies={"joinback"}).canonical())
+    compare("chosen", lambda: engine.execute(sql).canonical())
+
+    if wanted & {"cached-cold", "cached-warm", "cached-invalidated"}:
+        cached_db, cached_registry = build_database(case)
+        cached_engine = DeferredCleansingEngine(
+            cached_db, cached_registry, cache=CacheOptions())
+        compare("cached-cold", lambda: cached_engine.execute(
+            sql).canonical())
+        compare("cached-warm", lambda: cached_engine.execute(
+            sql).canonical())
+
+        if "cached-invalidated" in wanted and case.reads_rows:
+            # Race the warm path against a table-version bump: mutate
+            # the source table after the region was cached, then query
+            # again. The stale region must be dropped, so the cached
+            # engine must agree with a fresh naive run over the *new*
+            # table state (not the original baseline).
+            try:
+                probe = dict(zip(READS_COLUMNS, case.reads_rows[0]))
+                probe["rtime"] = probe["rtime"] + 1
+                cached_db.table("caser").insert(probe)
+                cached_db.analyze("caser")
+                fresh = DeferredCleansingEngine(cached_db, cached_registry)
+                expected = fresh.execute(
+                    sql, strategies={"naive"}).canonical()
+                got = cached_engine.execute(sql).canonical()
+            except Exception as error:  # noqa: BLE001
+                report.results["cached-invalidated"] = "DIVERGED"
+                report.divergences.append(Divergence(
+                    label="cached-invalidated", kind="error",
+                    detail=f"{type(error).__name__}: {error}"))
+            else:
+                if got == expected:
+                    report.results["cached-invalidated"] = "ok"
+                else:
+                    missing, unexpected = _diff(expected, got)
+                    report.results["cached-invalidated"] = "DIVERGED"
+                    report.divergences.append(Divergence(
+                        label="cached-invalidated", kind="rows",
+                        missing=missing, unexpected=unexpected))
+
+    if wanted & {"eager", "plan-cache"}:
+        eager_db, eager_registry = build_database(case)
+        eager_sql = case.query.sql("caser_clean")
+
+        def eager() -> tuple[tuple, ...]:
+            materialize_cleansed(eager_db, eager_registry, "caser",
+                                 "caser_clean")
+            return eager_db.execute(eager_sql).canonical()
+
+        compare("eager", eager)
+
+        def plan_cache_hit() -> tuple[tuple, ...]:
+            if "caser_clean" not in eager_db.catalog:
+                raise RewriteError("eager path skipped; nothing to re-run")
+            result, metrics = eager_db.execute_with_metrics(eager_sql)
+            if metrics.plan_cache_hits == 0:
+                raise AssertionError(
+                    "prepared-plan cache did not serve the repeated query")
+            return result.canonical()
+
+        compare("plan-cache", plan_cache_hit)
+
+    def parallel() -> tuple[tuple, ...]:
+        options = PlannerOptions(parallel_windows=True)
+        parallel_db, parallel_registry = build_database(case)
+        parallel_db.options = options
+        parallel_engine = DeferredCleansingEngine(parallel_db,
+                                                  parallel_registry)
+        with forced_parallel_windows():
+            return parallel_engine.execute(
+                sql, strategies={"naive"}).canonical()
+
+    compare("parallel", parallel)
+    return report

@@ -1,0 +1,104 @@
+"""Random SQL-TS cleansing rule generation.
+
+Rules are drawn from the archetypes the paper's §4.3 rules span —
+singleton patterns of two or three references, leading/trailing ``*``
+set references, DELETE / KEEP / MODIFY actions — with conditions
+assembled from correlated atoms (location equality between references,
+bounded time windows) and local atoms (literal reader / location /
+step predicates) over the dataset's observed constants.
+
+All generated rules cluster by ``epc`` and sequence by ``rtime`` (rules
+applied together must share keys), use AND-only conditions (the shape
+the Figure 4 analysis supports; OR-split conditions are rejected by the
+conjunctive-group check and would only exercise the naive path), and
+always reference the target, so every archetype can appear in expanded
+/ join-back / cached candidate races rather than falling through.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz.datasets import DatasetProfile
+
+__all__ = ["random_rules", "random_rule"]
+
+#: (pattern text, ordered singleton names, set name or None).
+_PATTERNS = (
+    ("(A, B)", ("a", "b"), None),
+    ("(A, B, C)", ("a", "b", "c"), None),
+    ("(A, *B)", ("a",), "b"),
+    ("(*A, B)", ("b",), "a"),
+)
+
+
+def _correlated_atom(rng: random.Random, profile: DatasetProfile,
+                     earlier: str, later: str,
+                     sequence_only: bool = False) -> str:
+    """*sequence_only* is forced when either side is a set reference:
+    the compiler admits only sequence-key bounds across a ``*`` ref."""
+    kind = 0 if sequence_only else rng.randrange(3)
+    if kind == 0:
+        window = rng.choice(profile.time_constants)
+        return f"{later}.rtime - {earlier}.rtime < {window}"
+    if kind == 1:
+        return f"{earlier}.biz_loc = {later}.biz_loc"
+    return f"{earlier}.biz_loc != {later}.biz_loc"
+
+
+def _local_atom(rng: random.Random, profile: DatasetProfile,
+                ref: str) -> str:
+    kind = rng.randrange(3)
+    if kind == 0:
+        return f"{ref}.reader = '{rng.choice(profile.readers)}'"
+    if kind == 1:
+        return f"{ref}.biz_loc = '{rng.choice(profile.glns)}'"
+    return f"{ref}.biz_step = '{rng.choice(profile.steps)}'"
+
+
+def random_rule(rng: random.Random, profile: DatasetProfile,
+                index: int) -> str:
+    """One random rule named ``fuzz_rule_<index>`` over ``caser``."""
+    pattern, singletons, set_ref = rng.choice(_PATTERNS)
+    names = list(singletons) + ([set_ref] if set_ref else [])
+    ordered = sorted(names)  # pattern order is alphabetical by design
+    target = rng.choice(singletons)
+
+    atoms: list[str] = []
+    # At least one correlated atom binding consecutive references keeps
+    # most rules feasible for the expanded analysis; a time-window atom
+    # additionally gives the position-preserving subset something to
+    # keep for singleton context references.
+    for left, right in zip(ordered, ordered[1:]):
+        if rng.random() < 0.8:
+            atoms.append(_correlated_atom(
+                rng, profile, left, right,
+                sequence_only=set_ref in (left, right)))
+    if rng.random() < 0.6:
+        atoms.append(_local_atom(rng, profile, rng.choice(ordered)))
+    if not atoms:
+        atoms.append(_correlated_atom(
+            rng, profile, ordered[0], ordered[-1],
+            sequence_only=set_ref in (ordered[0], ordered[-1])))
+
+    action_kind = rng.randrange(4)
+    if action_kind == 0:
+        action = f"KEEP {target.upper()}"
+    elif action_kind == 1:
+        gln = rng.choice(profile.glns)
+        action = f"MODIFY {target.upper()}.biz_loc = '{gln}'"
+    else:
+        action = f"DELETE {target.upper()}"
+
+    return (f"DEFINE fuzz_rule_{index} ON caser "
+            f"CLUSTER BY epc SEQUENCE BY rtime\n"
+            f"AS {pattern}\n"
+            f"WHERE {' AND '.join(atoms)}\n"
+            f"ACTION {action}")
+
+
+def random_rules(rng: random.Random, profile: DatasetProfile,
+                 max_rules: int = 3) -> list[str]:
+    """An ordered chain of 1..max_rules random rules."""
+    count = rng.randint(1, max_rules)
+    return [random_rule(rng, profile, index) for index in range(count)]

@@ -50,6 +50,10 @@ class ExecutionMetrics:
     rows_sorted: int = 0
     sort_operators: int = 0
     operators: int = 0
+    #: Window operators whose last execution actually fanned out to a
+    #: worker pool (0 under serial evaluation — the fuzz oracle asserts
+    #: on this to prove the parallel path was exercised, not skipped).
+    parallel_window_ops: int = 0
     #: Prepared-plan cache counters for the call that produced these
     #: metrics (filled in by ``Database.execute_with_metrics``).
     plan_cache_hits: int = 0
@@ -67,6 +71,8 @@ class ExecutionMetrics:
             elif isinstance(node, WindowOp) and node.sorted_rows:
                 metrics.rows_sorted += node.sorted_rows
                 metrics.sort_operators += 1
+            if isinstance(node, WindowOp) and node.parallel_workers:
+                metrics.parallel_window_ops += 1
         return metrics
 
 

@@ -180,7 +180,8 @@ class WindowOp(PhysicalNode):
     """Physical window operator; see module docstring."""
 
     __slots__ = ("child", "_partition_keys", "_order_keys", "functions",
-                 "presorted", "naive", "parallel", "sorted_rows")
+                 "presorted", "naive", "parallel", "sorted_rows",
+                 "parallel_workers")
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  partition_keys: Sequence[Callable[[tuple], Any]],
@@ -201,6 +202,10 @@ class WindowOp(PhysicalNode):
         self.naive = naive
         self.parallel = parallel
         self.sorted_rows = 0
+        #: Pool size actually used by the last execution (0 = serial);
+        #: surfaced through ``ExecutionMetrics`` so tests and the fuzz
+        #: oracle can assert the parallel path really ran.
+        self.parallel_workers = 0
         for spec in self.functions:
             if spec.frame is not None and spec.frame.mode == "range" \
                     and len(self._order_keys) != 1:
@@ -262,6 +267,7 @@ class WindowOp(PhysicalNode):
         serial (gated off, too small, unsupported platform, or pool
         failure)."""
         global _FORK_STATE
+        self.parallel_workers = 0
         workers = self._parallel_workers(partitions)
         if workers < 2:
             return None
@@ -281,6 +287,7 @@ class WindowOp(PhysicalNode):
         computed: list[list[list[Any]]] = []
         for chunk in chunks:
             computed.extend(chunk)
+        self.parallel_workers = len(spans)
         return computed
 
     def _partitions(self, rows: list[tuple]) -> Iterator[list[tuple]]:

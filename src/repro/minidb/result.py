@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from repro.minidb.types import sort_key
+
 __all__ = ["ResultSet"]
 
 
@@ -48,6 +50,20 @@ class ResultSet:
     def as_set(self) -> set[tuple]:
         """Rows as a set, for order-insensitive comparisons."""
         return set(self.rows)
+
+    def canonical(self) -> tuple[tuple, ...]:
+        """Order-insensitive canonical form preserving duplicates.
+
+        Rows sorted under the engine's total order (NULLs first, values
+        type-bucketed), returned as a hashable tuple: two result sets
+        over the same output columns answer the same bag of rows iff
+        their canonical forms compare equal. This is the comparison the
+        differential oracle uses across rewrite strategies, which may
+        emit identical row bags in different physical orders.
+        """
+        return tuple(sorted(
+            self.rows,
+            key=lambda row: tuple(sort_key(value) for value in row)))
 
     def pretty(self, limit: int = 20) -> str:
         """A fixed-width text rendering of the first *limit* rows."""

@@ -22,6 +22,7 @@ unbounded), so no condition can be pushed below cleansing.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.analysis.linear import normalize_comparison
@@ -38,7 +39,23 @@ from repro.rewrite.positions import correlation_conjuncts
 from repro.rewrite.transitivity import derive_context_conjuncts
 from repro.sqlts.model import CleansingRule
 
-__all__ = ["RuleContextAnalysis", "ExpandedAnalysis", "analyze_expanded"]
+__all__ = ["RuleContextAnalysis", "ExpandedAnalysis", "analyze_expanded",
+           "FAULT_ENV"]
+
+#: Test-only fault injection: when this environment variable is set to a
+#: non-empty value other than "0", :func:`analyze_expanded` deliberately
+#: drops every derived context condition, collapsing the expanded
+#: condition ``ec = s OR cc`` to just ``s``. That is precisely the class
+#: of silent wrong-answer bug the differential fuzzer exists to catch
+#: (the cleansing window loses the context rows outside the query
+#: region), and the fuzz acceptance test flips this flag to prove the
+#: oracle detects it and the shrinker minimizes it. Never set outside
+#: tests; the flag is read per call and defaults to off.
+FAULT_ENV = "REPRO_FUZZ_INJECT_BUG"
+
+
+def _fault_injected() -> bool:
+    return os.environ.get(FAULT_ENV, "") not in ("", "0")
 
 
 @dataclass
@@ -237,6 +254,10 @@ def analyze_expanded(rules: list[CleansingRule],
             if combined is not None:
                 context_disjuncts.append(combined)
                 context_conjunct_lists.append(plain)
+    if context_disjuncts and _fault_injected():
+        # Deliberate test-only wrong-answer bug (see FAULT_ENV above).
+        context_disjuncts = []
+        context_conjunct_lists = []
     cc = or_all(context_disjuncts)
 
     # The s-disjunct excludes IN-subquery conjuncts (weakening is safe:

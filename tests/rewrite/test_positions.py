@@ -99,3 +99,106 @@ class TestCorrelationConjuncts:
         conjuncts = correlation_conjuncts(rule, rule.reference("a"))
         assert {c.to_sql() for c in conjuncts} == {
             "(a.epc = b.epc)", "(a.rtime <= b.rtime)"}
+
+
+class TestPositionPreservingEdges:
+    """Observation 1 boundary shapes and the sequence-key corner cases."""
+
+    def _check(self, rule, ref_name, conjunct_sql):
+        ref = rule.reference(ref_name)
+        return is_position_preserving(
+            parse_expression(conjunct_sql), rule, ref)
+
+    def test_sequence_key_equality_rejected(self):
+        # X.skey = T.skey pins the context to the target's exact rtime;
+        # filtering on it reorders relative positions, so it is not
+        # position-preserving (only inequalities with safe bounds are).
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert not self._check(rule, "a", "a.rtime = b.rtime")
+
+    def test_zero_bound_non_strict_allowed(self):
+        # c = 0: (X.skey - T.skey) <= 0 keeps every row up to the target
+        # inclusive -- contiguous, hence preserving.
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert self._check(rule, "a", "a.rtime - b.rtime <= 0")
+
+    def test_zero_bound_strict_allowed(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert self._check(rule, "a", "a.rtime - b.rtime < 0")
+
+    def test_negative_upper_bound_rejected(self):
+        # "X at least 60s before T" cuts a gap next to the target.
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert not self._check(rule, "a", "a.rtime - b.rtime < -60")
+
+    def test_positive_lower_bound_rejected(self):
+        # Mirror image on the after side: "X at least 60s after T".
+        rule = rule_for("(A, B)", "B.rtime - A.rtime < 300", "DELETE A")
+        assert not self._check(rule, "b", "b.rtime - a.rtime > 60")
+
+    def test_negative_lower_bound_allowed(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert self._check(rule, "a", "a.rtime - b.rtime > -300")
+
+    def test_scaled_coefficient_rejected(self):
+        # Only unit-coefficient skey differences are contiguous windows.
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert not self._check(rule, "a", "a.rtime + a.rtime < b.rtime")
+
+    def test_constant_only_comparison_rejected(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert not self._check(rule, "a", "a.rtime < 100")
+
+    def test_cluster_key_inequality_rejected(self):
+        rule = rule_for("(A, B)", "A.rtime < B.rtime")
+        assert not self._check(rule, "a", "a.epc != b.epc")
+
+
+class TestSetReferenceEdges:
+    """`*` references skip Observation 1 filtering entirely."""
+
+    def test_trailing_set_keeps_local_predicates(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, *B) WHERE B.biz_loc != A.biz_loc
+                         AND B.rtime - A.rtime < 600
+            ACTION DELETE A""")
+        conjuncts = correlation_conjuncts(rule, rule.reference("b"))
+        rendered = {c.to_sql() for c in conjuncts}
+        # The non-position-preserving location atom survives for sets.
+        assert any("biz_loc" in text for text in rendered)
+        # Implied pattern-side direction: B is after the target A.
+        assert "(b.rtime >= a.rtime)" in rendered
+
+    def test_leading_set_direction(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (*A, B) WHERE B.rtime - A.rtime < 600
+            ACTION DELETE B""")
+        conjuncts = correlation_conjuncts(rule, rule.reference("a"))
+        rendered = {c.to_sql() for c in conjuncts}
+        assert "(a.rtime <= b.rtime)" in rendered
+        assert "(a.epc = b.epc)" in rendered
+
+    def test_min_matches_does_not_change_correlation(self):
+        counted = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, *B{3}) WHERE B.rtime - A.rtime < 600
+            ACTION DELETE A""")
+        plain = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, *B) WHERE B.rtime - A.rtime < 600
+            ACTION DELETE A""")
+        counted_sql = {c.to_sql() for c in correlation_conjuncts(
+            counted, counted.reference("b"))}
+        plain_sql = {c.to_sql() for c in correlation_conjuncts(
+            plain, plain.reference("b"))}
+        assert counted_sql == plain_sql
+
+    def test_set_atoms_split_across_or_gives_none(self):
+        rule = parse_rule("""
+            DEFINE r ON t CLUSTER BY epc SEQUENCE BY rtime
+            AS (A, *B) WHERE B.rtime - A.rtime < 600
+                          OR B.biz_loc = 'x'
+            ACTION DELETE A""")
+        assert correlation_conjuncts(rule, rule.reference("b")) is None

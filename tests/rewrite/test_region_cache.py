@@ -257,3 +257,97 @@ def test_insert_invalidation_property(rows, extra, t):
     db.run(f"insert into r values ({values})")
     assert sorted(cached.execute(sql).rows) == \
         sorted(plain.execute(sql).rows)
+
+
+class TestInvalidationRaces:
+    """Version bumps landing at every awkward point of the warm path.
+
+    The cache records ``source_table.version`` at store time and prunes
+    on every lookup; these tests pin the equivalence guarantee when the
+    bump races the store/lookup/hit sequence rather than arriving
+    between well-separated queries.
+    """
+
+    def test_bump_between_store_and_lookup(self):
+        db = _cache_db()
+        table = db.catalog.table("r")
+        cache = CleansingRegionCache(db)
+        ec = (parse_expression("rtime <= 300"),)
+        cache.store(table, ("duplicate",), ec, [tuple(r) for r in ROWS])
+        table.insert({"epc": "e9", "rtime": 401, "reader": "r0",
+                      "biz_loc": "l1"})
+        assert cache.lookup(table, ("duplicate",), ec) is None
+        assert cache.invalidations == 1
+        # The stale region's temp table is gone from the catalog too.
+        assert not any(name.startswith("__region_cache_")
+                       for name in db.catalog.table_names())
+
+    def test_bump_between_two_warm_hits(self):
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        sql = q("rtime <= 300")
+        cached.execute(sql)                      # cold store
+        cached.execute(sql)                      # warm hit
+        cache = cached.region_cache
+        assert cache.hits == 1
+        db.run("insert into r values ('e9', 155, 'rx', 'la')")
+        # The next execution must re-cleanse, not serve the stale region.
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cache.invalidations == 1 and cache.hits == 1
+        # ... and the freshly re-stored region warms up again.
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cache.hits == 2
+
+    def test_every_interleaved_bump_invalidates(self):
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        sql = q("rtime <= 300")
+        for step in range(3):
+            cached.execute(sql)  # store (step 0) / warm hit (re-stored)
+            db.run(f"insert into r values ('e{step}', {150 + step}, "
+                   "'rx', 'la')")
+            assert sorted(cached.execute(sql).rows) == \
+                sorted(plain.execute(sql).rows), step
+        # Each post-insert execution invalidated and re-stored; the
+        # leading execution of steps 1 and 2 hit the re-stored region.
+        assert cached.region_cache.invalidations == 3
+        assert cached.region_cache.hits == 2
+        assert cached.region_cache.stores == 4
+
+    def test_load_bumps_version(self):
+        db, cached, plain = make_engines(ROWS, ("duplicate",))
+        sql = q("rtime <= 300")
+        cached.execute(sql)
+        db.load("r", [("e9", 42, "r0", "l1")])
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cached.region_cache.invalidations == 1
+
+    def test_table_replacement_detected_without_version_bump(self):
+        # Dropping and recreating the table yields a fresh object whose
+        # version counter may coincide with the recorded one; staleness
+        # must be detected by object identity, not the counter alone.
+        db = _cache_db()
+        table = db.catalog.table("r")
+        cache = CleansingRegionCache(db)
+        ec = (parse_expression("rtime <= 300"),)
+        cache.store(table, ("duplicate",), ec, [tuple(r) for r in ROWS])
+        db.drop_table("r")
+        db.create_table("r", SCHEMA)
+        db.load("r", ROWS)
+        db.create_index("r", "rtime")
+        replacement = db.catalog.table("r")
+        assert replacement.version == table.version
+        assert cache.lookup(replacement, ("duplicate",), ec) is None
+        assert cache.invalidations == 1
+
+    def test_bump_through_second_engine_sharing_db(self):
+        # A different engine (no cache) mutating the shared database
+        # must still invalidate the cached engine's regions.
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        sql = q("rtime <= 300")
+        cached.execute(sql)
+        plain.database.run("insert into r values ('e9', 155, 'rx', 'la')")
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cached.region_cache.invalidations == 1
