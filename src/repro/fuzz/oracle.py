@@ -23,7 +23,14 @@ path and diffs canonicalized row bags against the naive strategy
                           plan cache (hit must reproduce the miss)
 ``parallel``              naive re-run with fork-pool window evaluation
                           forced on (threshold lowered, 2 workers)
+``vectorized``            naive re-run under batch execution with a
+                          small odd batch size (stressing chunk
+                          boundaries); metrics must show batches ran
 ========================  =============================================
+
+The baseline itself is computed with batch execution disabled
+(``REPRO_BATCH_SIZE=0``), so every comparison is simultaneously a
+strategy diff and a batch-vs-tuple-at-a-time executor diff.
 
 Each label diffs as a bag (duplicates matter); any mismatch — or any
 unexpected exception — becomes a :class:`Divergence`. Errors never
@@ -44,6 +51,7 @@ from repro.minidb.engine import Database
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.optimizer.planner import PlannerOptions
 from repro.minidb.types import SqlType
+from repro.minidb.vector import forced_batch_size
 from repro.rewrite.cache import CacheOptions
 from repro.rewrite.eager import materialize_cleansed
 from repro.rewrite.engine import DeferredCleansingEngine
@@ -55,7 +63,7 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 #: Every comparison the oracle can run, in execution order.
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
-              "parallel")
+              "parallel", "vectorized")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -175,7 +183,9 @@ def run_case(case: FuzzCase,
 
     db, registry = build_database(case)
     engine = DeferredCleansingEngine(db, registry)
-    report.baseline = engine.execute(sql, strategies={"naive"}).canonical()
+    with forced_batch_size(0):  # genuine tuple-at-a-time reference
+        report.baseline = engine.execute(
+            sql, strategies={"naive"}).canonical()
 
     def compare(label: str, execute: Callable[[], tuple[tuple, ...]],
                 ) -> None:
@@ -281,4 +291,20 @@ def run_case(case: FuzzCase,
                 sql, strategies={"naive"}).canonical()
 
     compare("parallel", parallel)
+
+    def vectorized() -> tuple[tuple, ...]:
+        vector_db, vector_registry = build_database(case)
+        vector_engine = DeferredCleansingEngine(vector_db, vector_registry)
+        # Batch size 7: small and odd, so chunk boundaries land mid-way
+        # through partitions, join probes, and selection vectors.
+        with forced_batch_size(7):
+            result, metrics, _ = vector_engine.execute_with_metrics(
+                sql, strategies={"naive"})
+        if case.reads_rows and metrics.batches == 0:
+            raise AssertionError(
+                "vectorized strategy executed zero batches — the batch "
+                "path did not run")
+        return result.canonical()
+
+    compare("vectorized", vectorized)
     return report

@@ -11,7 +11,7 @@ how the paper compiles m+1 SQL statements on DB2 and keeps the cheapest.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.minidb.catalog import Catalog
@@ -20,8 +20,9 @@ from repro.minidb.optimizer.planner import Planner, PlannerOptions
 from repro.minidb.optimizer.stats import StatsRepository
 from repro.minidb.plan.builder import build_plan
 from repro.minidb.plan.logical import LogicalNode
-from repro.minidb.plan.physical import PhysicalNode, SortOp
+from repro.minidb.plan.physical import FilterOp, PhysicalNode, SortOp
 from repro.minidb.plan.window import WindowOp
+from repro.minidb.vector import materialize
 from repro.minidb.result import ResultSet
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.sqlparse import parse_select, parse_sql
@@ -58,6 +59,24 @@ class ExecutionMetrics:
     #: metrics (filled in by ``Database.execute_with_metrics``).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Columnar chunks emitted across all operators; 0 when the plan ran
+    #: tuple-at-a-time (``REPRO_BATCH_SIZE=0``). The fuzz oracle's
+    #: ``vectorized`` strategy asserts on this to prove the batch path
+    #: actually executed.
+    batches: int = 0
+    #: Rows filter predicates evaluated vs rows that survived, summed
+    #: over every FilterOp — their ratio is the selection-vector density.
+    filter_input_rows: int = 0
+    filter_output_rows: int = 0
+    #: (operator label, rows produced) per plan node in walk order.
+    operator_rows: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def selection_density(self) -> float | None:
+        """Fraction of filtered rows that survived, or None (no filters)."""
+        if not self.filter_input_rows:
+            return None
+        return self.filter_output_rows / self.filter_input_rows
 
     @classmethod
     def from_plan(cls, plan: PhysicalNode) -> "ExecutionMetrics":
@@ -65,6 +84,11 @@ class ExecutionMetrics:
         for node in plan.walk():
             metrics.operators += 1
             metrics.rows_emitted += node.actual_rows
+            metrics.batches += node.actual_batches
+            metrics.operator_rows.append((node.label(), node.actual_rows))
+            if isinstance(node, FilterOp):
+                metrics.filter_input_rows += node.input_rows
+                metrics.filter_output_rows += node.actual_rows
             if isinstance(node, SortOp):
                 metrics.rows_sorted += node.sorted_rows
                 metrics.sort_operators += 1
@@ -253,8 +277,7 @@ class Database:
         """Execute *query* and return the plan annotated with actual row
         counts (EXPLAIN ANALYZE)."""
         plan = self.plan(query, options)
-        for _ in plan.rows():
-            pass
+        materialize(plan)
         return Explained(plan=plan, text=plan.explain(analyze=True),
                          estimated_cost=plan.estimated_cost,
                          estimated_rows=plan.estimated_rows)
@@ -265,8 +288,8 @@ class Database:
                 options: PlannerOptions | None = None) -> ResultSet:
         """Plan and run *query*, returning a materialized result."""
         plan = self.plan(query, options)
-        rows = list(plan.rows())
-        columns = [field.name for field in plan.schema]
+        rows = materialize(plan)
+        columns = [out.name for out in plan.schema]
         return ResultSet(columns, rows)
 
     def run(self, sql: str) -> ResultSet:
@@ -316,8 +339,8 @@ class Database:
         hits_before = self.plan_cache.hits
         misses_before = self.plan_cache.misses
         plan = self.plan(query, options)
-        rows = list(plan.rows())
-        columns = [field.name for field in plan.schema]
+        rows = materialize(plan)
+        columns = [out.name for out in plan.schema]
         metrics = ExecutionMetrics.from_plan(plan)
         metrics.plan_cache_hits = self.plan_cache.hits - hits_before
         metrics.plan_cache_misses = self.plan_cache.misses - misses_before

@@ -20,14 +20,17 @@ references onto computed columns.
 
 from __future__ import annotations
 
+import operator as _operator
 import re
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import PlanningError, TypeMismatchError
 from repro.minidb.types import sql_and, sql_not, sql_or
+from repro.minidb.vector import RowBatch, vector_fallback_enabled
 
 __all__ = [
+    "BatchBound",
     "Expr",
     "ColumnRef",
     "Literal",
@@ -54,10 +57,30 @@ __all__ = [
 Resolver = Callable[[str | None, str], int]
 #: A bound expression evaluates a row tuple to a value.
 Bound = Callable[[tuple], Any]
+#: A batch-bound expression evaluates a whole RowBatch to a value list.
+BatchBound = Callable[[RowBatch], list]
 
 _COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
 _ARITHMETIC_OPS = {"+", "-", "*", "/"}
 _LOGICAL_OPS = {"and", "or"}
+
+#: Comparison kernels for the vectorized evaluator (NULL handled by the
+#: surrounding comprehension, so these see only non-NULL operands).
+_COMPARE_FN = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+#: NULL-propagating arithmetic kernels; "/" keeps the scalar `_arith`
+#: path for its division-by-zero and integer-division semantics.
+_ARITH_FN = {
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+}
 
 
 class Expr:
@@ -68,6 +91,32 @@ class Expr:
     def bind(self, resolver: Resolver) -> Bound:
         """Compile this expression into a closure evaluating one row."""
         raise NotImplementedError
+
+    def bind_batch(self, resolver: Resolver) -> BatchBound:
+        """Compile this expression into a whole-batch evaluator.
+
+        Returns a callable mapping a :class:`RowBatch` to a list of one
+        value per row, with semantics identical to applying the
+        :meth:`bind` closure row by row. Nodes with a vectorized kernel
+        override :meth:`_bind_batch_fast`; everything else (and every
+        node under ``REPRO_VECTOR_FALLBACK=1``) falls back to the
+        row-bound closure applied elementwise, which is what makes the
+        fallback a valid differential reference for the kernels.
+        """
+        if not vector_fallback_enabled():
+            fast = self._bind_batch_fast(resolver)
+            if fast is not None:
+                return fast
+        bound = self.bind(resolver)
+
+        def elementwise(batch: RowBatch) -> list:
+            return [bound(row) for row in batch.rows()]
+
+        return elementwise
+
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound | None:
+        """Vectorized kernel for this node, or None to use the fallback."""
+        return None
 
     def children(self) -> Sequence["Expr"]:
         """Direct sub-expressions, for traversal."""
@@ -124,6 +173,10 @@ class ColumnRef(Expr):
         position = resolver(self.qualifier, self.name)
         return lambda row: row[position]
 
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound:
+        position = resolver(self.qualifier, self.name)
+        return lambda batch: batch.columns[position]
+
     def to_sql(self) -> str:
         if self.qualifier:
             return f"{self.qualifier}.{self.name}"
@@ -143,6 +196,10 @@ class Literal(Expr):
     def bind(self, resolver: Resolver) -> Bound:
         value = self.value
         return lambda row: value
+
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound:
+        value = self.value
+        return lambda batch: [value] * batch.length
 
     def to_sql(self) -> str:
         if self.value is None:
@@ -226,6 +283,46 @@ class BinaryOp(Expr):
             return lambda row: _compare(op, left(row), right(row))
         return lambda row: _arith(op, left(row), right(row))
 
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound:
+        op = self.op
+        left = self.left.bind_batch(resolver)
+        right = self.right.bind_batch(resolver)
+        if op == "and":
+            def kleene_and(batch: RowBatch) -> list:
+                return [False if a is False or b is False
+                        else None if a is None or b is None
+                        else True
+                        for a, b in zip(left(batch), right(batch))]
+            return kleene_and
+        if op == "or":
+            def kleene_or(batch: RowBatch) -> list:
+                return [True if a is True or b is True
+                        else None if a is None or b is None
+                        else False
+                        for a, b in zip(left(batch), right(batch))]
+            return kleene_or
+        if op == "/":
+            return lambda batch: [_arith("/", a, b)
+                                  for a, b in zip(left(batch), right(batch))]
+        fn = _COMPARE_FN[op] if op in _COMPARISON_OPS else _ARITH_FN[op]
+        # Hoist literal operands out of the comprehension: column-vs-
+        # constant is by far the most common shape in rewrite output
+        # (``rtime <= t``, ``reader = 'rdr-3'``).
+        if isinstance(self.right, Literal):
+            constant = self.right.value
+            if constant is None:
+                return lambda batch: [None] * batch.length
+            return lambda batch: [None if v is None else fn(v, constant)
+                                  for v in left(batch)]
+        if isinstance(self.left, Literal):
+            constant = self.left.value
+            if constant is None:
+                return lambda batch: [None] * batch.length
+            return lambda batch: [None if v is None else fn(constant, v)
+                                  for v in right(batch)]
+        return lambda batch: [None if a is None or b is None else fn(a, b)
+                              for a, b in zip(left(batch), right(batch))]
+
     def to_sql(self) -> str:
         op = self.op.upper() if self.op in _LOGICAL_OPS else self.op
         return f"({self.left.to_sql()} {op} {self.right.to_sql()})"
@@ -261,6 +358,14 @@ class UnaryOp(Expr):
 
         return negate
 
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound:
+        operand = self.operand.bind_batch(resolver)
+        if self.op == "not":
+            return lambda batch: [None if v is None else not v
+                                  for v in operand(batch)]
+        return lambda batch: [None if v is None else -v
+                              for v in operand(batch)]
+
     def to_sql(self) -> str:
         if self.op == "not":
             return f"(NOT {self.operand.to_sql()})"
@@ -285,6 +390,12 @@ class IsNull(Expr):
         if self.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
+
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound:
+        operand = self.operand.bind_batch(resolver)
+        if self.negated:
+            return lambda batch: [v is not None for v in operand(batch)]
+        return lambda batch: [v is None for v in operand(batch)]
 
     def to_sql(self) -> str:
         keyword = "IS NOT NULL" if self.negated else "IS NULL"
@@ -373,6 +484,24 @@ class InList(Expr):
             if saw_null:
                 return None
             return negated
+
+        return evaluate
+
+    def _bind_batch_fast(self, resolver: Resolver) -> BatchBound | None:
+        if not all(isinstance(item, Literal) for item in self.items):
+            return None
+        operand = self.operand.bind_batch(resolver)
+        values = [item.value for item in self.items]
+        has_null_item = any(value is None for value in values)
+        members = {value for value in values if value is not None}
+        hit, miss = not self.negated, self.negated
+
+        def evaluate(batch: RowBatch) -> list:
+            return [None if v is None
+                    else hit if v in members
+                    else None if has_null_item
+                    else miss
+                    for v in operand(batch)]
 
         return evaluate
 

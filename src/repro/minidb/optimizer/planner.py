@@ -394,7 +394,8 @@ class Planner:
             if isinstance(expr, ColumnRef):
                 passthrough[out_position] = child.schema.resolve(
                     expr.qualifier, expr.name)
-        op = ProjectOp(child, node.schema, bound_items, passthrough)
+        op = ProjectOp(child, node.schema, bound_items, passthrough,
+                       item_exprs=[expr for expr, _ in node.items])
         op.estimated_rows = child.estimated_rows
         op.estimated_cost = (child.estimated_cost
                              + self._cost.project(child.estimated_rows,
@@ -494,7 +495,9 @@ class Planner:
                               if residual_expr is not None else None)
             op: PhysicalNode = HashJoinOp(
                 left, right, schema, left_keys, right_keys, kind,
-                bound_residual, residual_expr)
+                bound_residual, residual_expr,
+                left_key_exprs=[expr for expr, _ in equi_pairs],
+                right_key_exprs=[expr for _, expr in equi_pairs])
             cost = self._cost.hash_join(right.estimated_rows,
                                         left.estimated_rows, 0.0)
         else:
@@ -620,7 +623,10 @@ class Planner:
             argument = (call.argument.bind(resolver)
                         if call.argument is not None else None)
             specs.append((call.name, argument, call.distinct))
-        op = AggregateOp(child, node.schema, group_keys, specs)
+        op = AggregateOp(child, node.schema, group_keys, specs,
+                         group_exprs=[expr for expr, _ in node.group],
+                         argument_exprs=[call.argument
+                                         for call, _ in node.aggregates])
         group_rows = 1.0
         for expr, _ in node.group:
             ndv = (self._column_ndv(expr, node.child.schema)
@@ -679,7 +685,11 @@ class Planner:
         op = WindowOp(child, window_schema, partition_keys, order_keys,
                       specs, presorted=presorted, ordering=ordering_out,
                       naive=self._options.naive_windows,
-                      parallel=self._options.parallel_windows)
+                      parallel=self._options.parallel_windows,
+                      partition_exprs=list(node.partition_by),
+                      order_exprs=[spec.expr for spec in node.order_by],
+                      argument_exprs=[call.argument
+                                      for call, _ in node.functions])
         workers = 1
         if self._options.parallel_windows and partition_keys \
                 and child.estimated_rows >= PARALLEL_ROW_THRESHOLD:
@@ -714,7 +724,8 @@ class Planner:
         keys = [(spec.expr.bind(resolver), spec.ascending)
                 for spec in node.keys]
         ordering = tuple(target) if all_columns else ()
-        op = SortOp(child, keys, ordering)
+        op = SortOp(child, keys, ordering,
+                    key_exprs=[spec.expr for spec in node.keys])
         op.estimated_rows = child.estimated_rows
         op.estimated_cost = (child.estimated_cost
                              + self._cost.sort(child.estimated_rows))

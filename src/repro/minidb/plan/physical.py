@@ -1,7 +1,20 @@
 """Physical (executable) plan operators.
 
-Operators are pull-based: ``rows()`` yields output tuples. Each operator
-carries:
+Operators are pull-based and support two execution surfaces:
+
+* ``batches()`` — the vectorized path: yields :class:`RowBatch` columnar
+  chunks. Hot operators (scan, filter, project, hash join, semi join,
+  sort, aggregate, distinct, union, limit) implement it natively,
+  evaluating whole chunks through batch-compiled expressions
+  (:meth:`Expr.bind_batch`) instead of calling a closure per row.
+* ``rows()`` — a thin tuple-at-a-time adapter kept for compatibility:
+  under batch execution it re-yields batch rows; with
+  ``REPRO_BATCH_SIZE=0`` it runs the original ``scalar_rows()``
+  implementations, which are retained verbatim as the reference
+  interpreter (and as the honest "before" side of the vectorization
+  benchmarks).
+
+Each operator carries:
 
 * ``schema`` — its output :class:`PlanSchema`;
 * ``estimated_rows`` / ``estimated_cost`` — filled in by the planner's
@@ -12,8 +25,9 @@ carries:
   of ``(column position, ascending)`` pairs. The planner uses it to skip
   redundant sorts (the paper's "order sharing" between cleansing windows
   and query windows);
-* ``actual_rows`` — incremented during execution, for EXPLAIN-ANALYZE
-  style inspection and for the benchmark harness's work metrics.
+* ``actual_rows`` / ``actual_batches`` — incremented during execution,
+  for EXPLAIN-ANALYZE style inspection and for the benchmark harness's
+  work metrics. Both paths produce identical ``actual_rows`` totals.
 """
 
 from __future__ import annotations
@@ -21,11 +35,17 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ExecutionError
-from repro.minidb.expressions import Expr
+from repro.minidb.expressions import BatchBound, Expr
 from repro.minidb.index import IndexRange, SortedIndex
 from repro.minidb.plan.planschema import PlanSchema
 from repro.minidb.table import Table
-from repro.minidb.types import sort_key
+from repro.minidb.types import sort_key_column
+from repro.minidb.vector import (
+    DEFAULT_BATCH_SIZE,
+    RowBatch,
+    batch_execution_enabled,
+    configured_batch_size,
+)
 
 __all__ = [
     "PhysicalNode",
@@ -48,6 +68,13 @@ __all__ = [
 Ordering = tuple[tuple[int, bool], ...]
 
 
+def _resolve_batch_size(size: int | None) -> int:
+    """The effective chunk size for one ``batches()`` invocation."""
+    if size is not None and size > 0:
+        return size
+    return configured_batch_size() or DEFAULT_BATCH_SIZE
+
+
 class PhysicalNode:
     """Base class for executable operators.
 
@@ -57,7 +84,7 @@ class PhysicalNode:
     """
 
     __slots__ = ("schema", "ordering", "estimated_rows", "estimated_cost",
-                 "actual_rows")
+                 "actual_rows", "actual_batches")
 
     schema: PlanSchema
     ordering: Ordering
@@ -69,12 +96,42 @@ class PhysicalNode:
         self.estimated_rows = 0.0
         self.estimated_cost = 0.0
         self.actual_rows = 0
+        self.actual_batches = 0
 
     def inputs(self) -> Sequence["PhysicalNode"]:
         return ()
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
+        """Tuple-at-a-time implementation (the reference interpreter)."""
         raise NotImplementedError
+
+    def rows(self) -> Iterator[tuple]:
+        """Yield output tuples under the configured execution mode."""
+        if not batch_execution_enabled():
+            yield from self.scalar_rows()
+            return
+        for batch in self.batches():
+            yield from batch.rows()
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        """Yield output as columnar chunks.
+
+        Operators without a native vectorized implementation chunk
+        their ``scalar_rows()`` stream, so a mixed plan still moves
+        batches end to end.
+        """
+        size = _resolve_batch_size(size)
+        width = len(self.schema)
+        chunk: list[tuple] = []
+        for row in self.scalar_rows():
+            chunk.append(row)
+            if len(chunk) >= size:
+                self.actual_batches += 1
+                yield RowBatch.from_rows(chunk, width)
+                chunk = []
+        if chunk:
+            self.actual_batches += 1
+            yield RowBatch.from_rows(chunk, width)
 
     def label(self) -> str:
         return type(self).__name__
@@ -110,8 +167,11 @@ class PhysicalNode:
         """
         for node in self.walk():
             node.actual_rows = 0
+            node.actual_batches = 0
             if hasattr(node, "sorted_rows"):
                 node.sorted_rows = 0
+            if hasattr(node, "input_rows"):
+                node.input_rows = 0
 
 
 class SeqScan(PhysicalNode):
@@ -124,10 +184,20 @@ class SeqScan(PhysicalNode):
         self.table = table
         self.schema = schema
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         for row in self.table.rows:
             self.actual_rows += 1
             yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        columns = self.table.columnar()
+        total = len(self.table.rows)
+        for lo in range(0, total, size):
+            hi = min(lo + size, total)
+            self.actual_rows += hi - lo
+            self.actual_batches += 1
+            yield RowBatch([column[lo:hi] for column in columns], hi - lo)
 
     def label(self) -> str:
         return f"SeqScan({self.table.name})"
@@ -148,11 +218,29 @@ class IndexRangeScan(PhysicalNode):
         key_position = table.schema.position_of(index.column)
         self.ordering = ((key_position, True),)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         table_rows = self.table.rows
         for position in self.index.scan(self.key_range):
             self.actual_rows += 1
             yield table_rows[position]
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        columns = self.table.columnar()
+        chunk: list[int] = []
+        for position in self.index.scan(self.key_range):
+            chunk.append(position)
+            if len(chunk) >= size:
+                yield self._gather(columns, chunk)
+                chunk = []
+        if chunk:
+            yield self._gather(columns, chunk)
+
+    def _gather(self, columns: list[list], positions: list[int]) -> RowBatch:
+        self.actual_rows += len(positions)
+        self.actual_batches += 1
+        return RowBatch([[column[p] for p in positions]
+                         for column in columns], len(positions))
 
     def label(self) -> str:
         return (f"IndexRangeScan({self.table.name}.{self.index.column} "
@@ -160,9 +248,15 @@ class IndexRangeScan(PhysicalNode):
 
 
 class FilterOp(PhysicalNode):
-    """Keeps rows where the bound predicate evaluates to TRUE."""
+    """Keeps rows where the bound predicate evaluates to TRUE.
 
-    __slots__ = ('child', 'predicate', '_bound')
+    The batch path evaluates the predicate over a whole chunk and keeps
+    the surviving positions (a selection vector); ``input_rows`` records
+    how many rows the predicate saw, so :class:`ExecutionMetrics` can
+    report selection-vector density.
+    """
+
+    __slots__ = ('child', 'predicate', '_bound', '_batch_bound', 'input_rows')
 
     def __init__(self, child: PhysicalNode, predicate: Expr,
                  bound: Callable[[tuple], Any]) -> None:
@@ -170,18 +264,35 @@ class FilterOp(PhysicalNode):
         self.child = child
         self.predicate = predicate
         self._bound = bound
+        self._batch_bound: BatchBound = predicate.bind_batch(
+            child.schema.resolver())
+        self.input_rows = 0
         self.schema = child.schema
         self.ordering = child.ordering
 
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         bound = self._bound
         for row in self.child.rows():
             if bound(row) is True:
                 self.actual_rows += 1
                 yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        batch_bound = self._batch_bound
+        for batch in self.child.batches(size):
+            self.input_rows += batch.length
+            values = batch_bound(batch)
+            selected = [i for i, value in enumerate(values) if value is True]
+            if not selected:
+                continue
+            out = batch if len(selected) == batch.length \
+                else batch.take(selected)
+            self.actual_rows += out.length
+            self.actual_batches += 1
+            yield out
 
     def label(self) -> str:
         return f"Filter({self.predicate.to_sql()})"
@@ -192,18 +303,33 @@ class ProjectOp(PhysicalNode):
 
     ``passthrough`` maps output positions to input positions for items
     that are plain column references; it is used to translate the input's
-    ordering property through the projection.
+    ordering property through the projection, and lets the batch path
+    reuse the child's column lists without copying. ``item_exprs`` (the
+    unbound select-list expressions) enables batch compilation of the
+    computed items; without it the batch path evaluates the row-bound
+    closures elementwise.
     """
 
-    __slots__ = ('child', '_bound_items')
+    __slots__ = ('child', '_bound_items', '_batch_items')
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  bound_items: Sequence[Callable[[tuple], Any]],
-                 passthrough: dict[int, int]) -> None:
+                 passthrough: dict[int, int],
+                 item_exprs: Sequence[Expr] | None = None) -> None:
         super().__init__()
         self.child = child
         self.schema = schema
         self._bound_items = list(bound_items)
+        self._batch_items: list[tuple[str, Any]] | None = None
+        if item_exprs is not None:
+            resolver = child.schema.resolver()
+            items: list[tuple[str, Any]] = []
+            for out_position, expr in enumerate(item_exprs):
+                if out_position in passthrough:
+                    items.append(("col", passthrough[out_position]))
+                else:
+                    items.append(("expr", expr.bind_batch(resolver)))
+            self._batch_items = items
         ordering: list[tuple[int, bool]] = []
         inverse = {inp: out for out, inp in passthrough.items()}
         for position, ascending in child.ordering:
@@ -215,11 +341,26 @@ class ProjectOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         bound_items = self._bound_items
         for row in self.child.rows():
             self.actual_rows += 1
             yield tuple(item(row) for item in bound_items)
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        batch_items = self._batch_items
+        for batch in self.child.batches(size):
+            if batch_items is None:
+                in_rows = batch.rows()
+                columns = [[item(row) for row in in_rows]
+                           for item in self._bound_items]
+            else:
+                columns = [batch.columns[payload] if kind == "col"
+                           else payload(batch)
+                           for kind, payload in batch_items]
+            self.actual_rows += batch.length
+            self.actual_batches += 1
+            yield RowBatch(columns, batch.length)
 
     def label(self) -> str:
         return f"Project({', '.join(f.display() for f in self.schema)})"
@@ -230,10 +371,14 @@ class HashJoinOp(PhysicalNode):
 
     ``residual`` (if any) is applied to joined rows for non-equi
     conjuncts. Left join emits left rows with NULL padding when no match
-    survives the residual.
+    survives the residual. The batch path extracts join-key columns per
+    chunk (a direct column reference for the common plain-column keys)
+    and probes row-wise over the materialized chunk rows.
     """
 
-    __slots__ = ('left', 'right', '_left_keys', '_right_keys', 'kind', '_residual', 'residual_expr')
+    __slots__ = ('left', 'right', '_left_keys', '_right_keys', 'kind',
+                 '_residual', 'residual_expr', '_batch_left_keys',
+                 '_batch_right_keys')
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  schema: PlanSchema,
@@ -241,7 +386,9 @@ class HashJoinOp(PhysicalNode):
                  right_keys: Sequence[Callable[[tuple], Any]],
                  kind: str,
                  residual: Callable[[tuple], Any] | None,
-                 residual_expr: Expr | None) -> None:
+                 residual_expr: Expr | None,
+                 left_key_exprs: Sequence[Expr] | None = None,
+                 right_key_exprs: Sequence[Expr] | None = None) -> None:
         super().__init__()
         self.left = left
         self.right = right
@@ -251,12 +398,22 @@ class HashJoinOp(PhysicalNode):
         self.kind = kind
         self._residual = residual
         self.residual_expr = residual_expr
+        self._batch_left_keys: list[BatchBound] | None = None
+        self._batch_right_keys: list[BatchBound] | None = None
+        if left_key_exprs is not None:
+            resolver = left.schema.resolver()
+            self._batch_left_keys = [expr.bind_batch(resolver)
+                                     for expr in left_key_exprs]
+        if right_key_exprs is not None:
+            resolver = right.schema.resolver()
+            self._batch_right_keys = [expr.bind_batch(resolver)
+                                      for expr in right_key_exprs]
         self.ordering = left.ordering  # probe side preserves its order
 
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         table: dict[tuple, list[tuple]] = {}
         right_keys = self._right_keys
         for row in self.right.rows():
@@ -281,6 +438,71 @@ class HashJoinOp(PhysicalNode):
             if not matched and self.kind == "left":
                 self.actual_rows += 1
                 yield left_row + null_pad
+
+    @staticmethod
+    def _key_columns(batch: RowBatch,
+                     batch_keys: list[BatchBound] | None,
+                     row_keys: list[Callable[[tuple], Any]]) -> list[list]:
+        if batch_keys is not None:
+            return [key(batch) for key in batch_keys]
+        in_rows = batch.rows()
+        return [[key(row) for row in in_rows] for key in row_keys]
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        table: dict[tuple, list[tuple]] = {}
+        for right_batch in self.right.batches(size):
+            right_rows = right_batch.rows()
+            key_columns = self._key_columns(right_batch,
+                                            self._batch_right_keys,
+                                            self._right_keys)
+            for i in range(right_batch.length):
+                key = tuple(column[i] for column in key_columns)
+                if any(part is None for part in key):
+                    continue
+                table.setdefault(key, []).append(right_rows[i])
+        residual = self._residual
+        null_pad = (None,) * len(self.right.schema)
+        pad_left = self.kind == "left"
+        width = len(self.schema)
+        single = len(self._left_keys) == 1
+        for left_batch in self.left.batches(size):
+            left_rows = left_batch.rows()
+            key_columns = self._key_columns(left_batch,
+                                            self._batch_left_keys,
+                                            self._left_keys)
+            out: list[tuple] = []
+            if single:
+                for i, part in enumerate(key_columns[0]):
+                    matched = False
+                    if part is not None:
+                        for right_row in table.get((part,), ()):
+                            joined = left_rows[i] + right_row
+                            if residual is not None \
+                                    and residual(joined) is not True:
+                                continue
+                            matched = True
+                            out.append(joined)
+                    if not matched and pad_left:
+                        out.append(left_rows[i] + null_pad)
+            else:
+                for i in range(left_batch.length):
+                    key = tuple(column[i] for column in key_columns)
+                    matched = False
+                    if not any(part is None for part in key):
+                        for right_row in table.get(key, ()):
+                            joined = left_rows[i] + right_row
+                            if residual is not None \
+                                    and residual(joined) is not True:
+                                continue
+                            matched = True
+                            out.append(joined)
+                    if not matched and pad_left:
+                        out.append(left_rows[i] + null_pad)
+            if out:
+                self.actual_rows += len(out)
+                self.actual_batches += 1
+                yield RowBatch.from_rows(out, width)
 
     def label(self) -> str:
         return f"HashJoin[{self.kind}]"
@@ -308,7 +530,7 @@ class NestedLoopJoinOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         right_rows = list(self.right.rows())
         condition = self._condition
         null_pad = (None,) * len(self.right.schema)
@@ -338,7 +560,8 @@ class SemiJoinOp(PhysicalNode):
     no row qualifies; left keys that are NULL never qualify.
     """
 
-    __slots__ = ('left', 'right', 'left_expr', '_bound_left', 'negated')
+    __slots__ = ('left', 'right', 'left_expr', '_bound_left', '_batch_left',
+                 'negated')
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  left_expr: Expr,
@@ -349,6 +572,8 @@ class SemiJoinOp(PhysicalNode):
         self.right = right
         self.left_expr = left_expr
         self._bound_left = bound_left
+        self._batch_left: BatchBound = left_expr.bind_batch(
+            left.schema.resolver())
         self.negated = negated
         self.schema = left.schema
         self.ordering = left.ordering
@@ -356,7 +581,7 @@ class SemiJoinOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         members: set = set()
         saw_null = False
         for row in self.right.rows():
@@ -377,22 +602,65 @@ class SemiJoinOp(PhysicalNode):
                 self.actual_rows += 1
                 yield row
 
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        members: set = set()
+        saw_null = False
+        for right_batch in self.right.batches(size):
+            column = right_batch.columns[0] if right_batch.columns else ()
+            for value in column:
+                if value is None:
+                    saw_null = True
+                else:
+                    members.add(value)
+        if self.negated and saw_null:
+            return
+        batch_left = self._batch_left
+        negated = self.negated
+        for batch in self.left.batches(size):
+            values = batch_left(batch)
+            selected = [i for i, value in enumerate(values)
+                        if value is not None
+                        and (value in members) != negated]
+            if not selected:
+                continue
+            out = batch if len(selected) == batch.length \
+                else batch.take(selected)
+            self.actual_rows += out.length
+            self.actual_batches += 1
+            yield out
+
     def label(self) -> str:
         keyword = "NOT IN" if self.negated else "IN"
         return f"SemiJoin({self.left_expr.to_sql()} {keyword} ...)"
 
 
 class SortOp(PhysicalNode):
-    """Full sort; NULLs order first on every key."""
+    """Full sort; NULLs order first on every ascending key (and last on
+    descending keys, since a descending pass is the reverse of the
+    ascending order).
 
-    __slots__ = ('child', '_keys', 'sorted_rows')
+    Sort keys are computed exactly once per input row per key into
+    decorated arrays, then the row order is obtained by stable
+    multi-pass index sorts over those arrays — the key expressions are
+    never re-evaluated during comparisons. With ``key_exprs`` the batch
+    path extracts key columns through the vectorized expression
+    compiler.
+    """
+
+    __slots__ = ('child', '_keys', '_batch_keys', 'sorted_rows')
 
     def __init__(self, child: PhysicalNode,
                  keys: Sequence[tuple[Callable[[tuple], Any], bool]],
-                 ordering: Ordering) -> None:
+                 ordering: Ordering,
+                 key_exprs: Sequence[Expr] | None = None) -> None:
         super().__init__()
         self.child = child
         self._keys = list(keys)
+        self._batch_keys: list[BatchBound] | None = None
+        if key_exprs is not None:
+            resolver = child.schema.resolver()
+            self._batch_keys = [expr.bind_batch(resolver)
+                                for expr in key_exprs]
         self.schema = child.schema
         self.ordering = ordering
         self.sorted_rows = 0
@@ -400,16 +668,57 @@ class SortOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def _sorted_order(self, count: int,
+                      decorated: list[list]) -> list[int]:
+        """Row order from precomputed per-key sort-key arrays.
+
+        Stable multi-key sort: apply keys from last to first, exactly as
+        the historical per-pass row sorts did.
+        """
+        order = list(range(count))
+        for keyed, (_, ascending) in zip(reversed(decorated),
+                                         reversed(self._keys)):
+            order.sort(key=keyed.__getitem__, reverse=not ascending)
+        return order
+
+    def _sorted_rows(self, buffered: list[tuple]) -> list[tuple]:
+        if not buffered:
+            return buffered
+        if self._batch_keys is not None:
+            big = RowBatch.from_rows(buffered, len(self.schema))
+            decorated = [sort_key_column(batch_key(big))
+                         for batch_key in self._batch_keys]
+        else:
+            decorated = [sort_key_column([key(row) for row in buffered])
+                         for key, _ in self._keys]
+        order = self._sorted_order(len(buffered), decorated)
+        return [buffered[i] for i in order]
+
+    def scalar_rows(self) -> Iterator[tuple]:
         buffered = list(self.child.rows())
         self.sorted_rows = len(buffered)
-        # Stable multi-key sort: apply keys from last to first.
-        for key, ascending in reversed(self._keys):
-            buffered.sort(key=lambda row: sort_key(key(row)),
-                          reverse=not ascending)
+        if buffered:
+            decorated = [sort_key_column([key(row) for row in buffered])
+                         for key, _ in self._keys]
+            order = self._sorted_order(len(buffered), decorated)
+            buffered = [buffered[i] for i in order]
         for row in buffered:
             self.actual_rows += 1
             yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        buffered: list[tuple] = []
+        for batch in self.child.batches(size):
+            buffered.extend(batch.rows())
+        self.sorted_rows = len(buffered)
+        buffered = self._sorted_rows(buffered)
+        width = len(self.schema)
+        for lo in range(0, len(buffered), size):
+            chunk = buffered[lo:lo + size]
+            self.actual_rows += len(chunk)
+            self.actual_batches += 1
+            yield RowBatch.from_rows(chunk, width)
 
     def label(self) -> str:
         body = ", ".join(f"#{position}{'' if asc else ' DESC'}"
@@ -463,26 +772,42 @@ class AggregateOp(PhysicalNode):
     """Hash aggregation: group keys followed by aggregate results.
 
     Aggregate specs are ``(name, bound_argument_or_None, distinct)``;
-    ``count(*)`` passes a None argument and counts every row.
+    ``count(*)`` passes a None argument and counts every row. The batch
+    path extracts group-key and argument columns per chunk before the
+    row-wise accumulation loop.
     """
 
-    __slots__ = ('child', '_group_keys', '_aggregate_specs')
+    __slots__ = ('child', '_group_keys', '_aggregate_specs',
+                 '_batch_group_keys', '_batch_arguments')
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  group_keys: Sequence[Callable[[tuple], Any]],
                  aggregate_specs: Sequence[
                      tuple[str, Callable[[tuple], Any] | None, bool]],
+                 group_exprs: Sequence[Expr] | None = None,
+                 argument_exprs: Sequence[Expr | None] | None = None,
                  ) -> None:
         super().__init__()
         self.child = child
         self.schema = schema
         self._group_keys = list(group_keys)
         self._aggregate_specs = list(aggregate_specs)
+        self._batch_group_keys: list[BatchBound] | None = None
+        self._batch_arguments: list[BatchBound | None] | None = None
+        if group_exprs is not None:
+            resolver = child.schema.resolver()
+            self._batch_group_keys = [expr.bind_batch(resolver)
+                                      for expr in group_exprs]
+        if argument_exprs is not None:
+            resolver = child.schema.resolver()
+            self._batch_arguments = [
+                expr.bind_batch(resolver) if expr is not None else None
+                for expr in argument_exprs]
 
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         groups: dict[tuple, list[_AggState]] = {}
         group_keys = self._group_keys
         specs = self._aggregate_specs
@@ -506,6 +831,62 @@ class AggregateOp(PhysicalNode):
             self.actual_rows += 1
             yield key + tuple(state.result() for state in states)
 
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        groups: dict[tuple, list[_AggState]] = {}
+        specs = self._aggregate_specs
+        spec_count = len(specs)
+        for batch in self.child.batches(size):
+            if self._batch_group_keys is not None:
+                key_columns = [key(batch)
+                               for key in self._batch_group_keys]
+            else:
+                in_rows = batch.rows()
+                key_columns = [[key(row) for row in in_rows]
+                               for key in self._group_keys]
+            argument_columns: list[list | None] = []
+            for index, (name, argument, _) in enumerate(specs):
+                if argument is None:
+                    argument_columns.append(None)
+                elif self._batch_arguments is not None \
+                        and self._batch_arguments[index] is not None:
+                    argument_columns.append(
+                        self._batch_arguments[index](batch))
+                else:
+                    in_rows = batch.rows()
+                    argument_columns.append(
+                        [argument(row) for row in in_rows])
+            for i in range(batch.length):
+                key = tuple(column[i] for column in key_columns)
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(name, distinct)
+                              for name, _, distinct in specs]
+                    groups[key] = states
+                for s in range(spec_count):
+                    column = argument_columns[s]
+                    if column is None:  # count(*)
+                        states[s].count += 1
+                    else:
+                        states[s].add(column[i])
+        if not groups and not self._group_keys:
+            states = [_AggState(name, distinct)
+                      for name, _, distinct in specs]
+            groups[()] = states
+        out: list[tuple] = []
+        width = len(self.schema)
+        for key, states in groups.items():
+            out.append(key + tuple(state.result() for state in states))
+            if len(out) >= size:
+                self.actual_rows += len(out)
+                self.actual_batches += 1
+                yield RowBatch.from_rows(out, width)
+                out = []
+        if out:
+            self.actual_rows += len(out)
+            self.actual_batches += 1
+            yield RowBatch.from_rows(out, width)
+
     def label(self) -> str:
         return (f"Aggregate(groups={len(self._group_keys)}, "
                 f"aggs={len(self._aggregate_specs)})")
@@ -525,7 +906,7 @@ class DistinctOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         seen: set[tuple] = set()
         for row in self.child.rows():
             if row in seen:
@@ -533,6 +914,22 @@ class DistinctOp(PhysicalNode):
             seen.add(row)
             self.actual_rows += 1
             yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        seen: set[tuple] = set()
+        for batch in self.child.batches(size):
+            keep: list[int] = []
+            for i, row in enumerate(batch.rows()):
+                if row in seen:
+                    continue
+                seen.add(row)
+                keep.append(i)
+            if not keep:
+                continue
+            out = batch if len(keep) == batch.length else batch.take(keep)
+            self.actual_rows += out.length
+            self.actual_batches += 1
+            yield out
 
     def label(self) -> str:
         return "Distinct"
@@ -554,13 +951,20 @@ class UnionAllOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         for row in self.left.rows():
             self.actual_rows += 1
             yield row
         for row in self.right.rows():
             self.actual_rows += 1
             yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        for side in (self.left, self.right):
+            for batch in side.batches(size):
+                self.actual_rows += batch.length
+                self.actual_batches += 1
+                yield batch
 
     def label(self) -> str:
         return "UnionAll"
@@ -586,8 +990,11 @@ class PassThroughOp(PhysicalNode):
     def inputs(self) -> Sequence[PhysicalNode]:
         return (self.child,)
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         return self.child.rows()
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        return self.child.batches(size)
 
     def label(self) -> str:
         return f"As({self.name})"
@@ -605,10 +1012,7 @@ class LimitOp(PhysicalNode):
         self.schema = child.schema
         self.ordering = child.ordering
 
-    def inputs(self) -> Sequence[PhysicalNode]:
-        return (self.child,)
-
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         if self.count <= 0:
             return
         emitted = 0
@@ -618,6 +1022,25 @@ class LimitOp(PhysicalNode):
             emitted += 1
             if emitted >= self.count:
                 return
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        if self.count <= 0:
+            return
+        remaining = self.count
+        for batch in self.child.batches(size):
+            if batch.length == 0:
+                continue
+            out = batch if batch.length <= remaining \
+                else batch.head(remaining)
+            remaining -= out.length
+            self.actual_rows += out.length
+            self.actual_batches += 1
+            yield out
+            if remaining == 0:
+                return
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
 
     def label(self) -> str:
         return f"Limit({self.count})"

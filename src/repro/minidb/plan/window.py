@@ -39,10 +39,12 @@ from collections import deque
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ExecutionError
-from repro.minidb.expressions import UNBOUNDED, WindowFrame
-from repro.minidb.plan.physical import Ordering, PhysicalNode
+from repro.minidb.expressions import UNBOUNDED, BatchBound, Expr, WindowFrame
+from repro.minidb.plan.physical import (Ordering, PhysicalNode,
+                                        _resolve_batch_size)
 from repro.minidb.plan.planschema import PlanSchema
-from repro.minidb.types import sort_key
+from repro.minidb.types import sort_key, sort_key_column
+from repro.minidb.vector import RowBatch
 
 __all__ = ["WindowOp", "WindowFuncSpec", "PARALLEL_ROW_THRESHOLD",
            "configured_worker_count"]
@@ -181,7 +183,8 @@ class WindowOp(PhysicalNode):
 
     __slots__ = ("child", "_partition_keys", "_order_keys", "functions",
                  "presorted", "naive", "parallel", "sorted_rows",
-                 "parallel_workers")
+                 "parallel_workers", "_batch_partition", "_batch_order",
+                 "_batch_arguments")
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  partition_keys: Sequence[Callable[[tuple], Any]],
@@ -190,13 +193,33 @@ class WindowOp(PhysicalNode):
                  presorted: bool,
                  ordering: Ordering,
                  naive: bool = False,
-                 parallel: bool = False) -> None:
+                 parallel: bool = False,
+                 partition_exprs: Sequence[Expr] | None = None,
+                 order_exprs: Sequence[Expr] | None = None,
+                 argument_exprs: Sequence[Expr | None] | None = None,
+                 ) -> None:
         super().__init__()
         self.child = child
         self.schema = schema
         self._partition_keys = list(partition_keys)
         self._order_keys = list(order_keys)
         self.functions = list(functions)
+        self._batch_partition: list[BatchBound] | None = None
+        self._batch_order: list[BatchBound] | None = None
+        self._batch_arguments: list[BatchBound | None] | None = None
+        if partition_exprs is not None or order_exprs is not None \
+                or argument_exprs is not None:
+            resolver = child.schema.resolver()
+            if partition_exprs is not None:
+                self._batch_partition = [expr.bind_batch(resolver)
+                                         for expr in partition_exprs]
+            if order_exprs is not None:
+                self._batch_order = [expr.bind_batch(resolver)
+                                     for expr in order_exprs]
+            if argument_exprs is not None:
+                self._batch_arguments = [
+                    expr.bind_batch(resolver) if expr is not None else None
+                    for expr in argument_exprs]
         self.presorted = presorted
         self.ordering = ordering
         self.naive = naive
@@ -226,7 +249,7 @@ class WindowOp(PhysicalNode):
 
     # ------------------------------------------------------------------
 
-    def rows(self) -> Iterator[tuple]:
+    def scalar_rows(self) -> Iterator[tuple]:
         buffered = list(self.child.rows())
         if not self.presorted:
             self.sorted_rows = len(buffered)
@@ -251,6 +274,131 @@ class WindowOp(PhysicalNode):
             for row_index, row in enumerate(partition):
                 self.actual_rows += 1
                 yield row + tuple(column[row_index] for column in computed)
+
+    # -- vectorized path ----------------------------------------------
+
+    def _eval_columns(self, big: RowBatch,
+                      batch_bounds: list[BatchBound] | None,
+                      row_bounds: Sequence[Callable[[tuple], Any]],
+                      ) -> list[list]:
+        if batch_bounds is not None:
+            return [bound(big) for bound in batch_bounds]
+        in_rows = big.rows()
+        return [[bound(row) for row in in_rows] for bound in row_bounds]
+
+    def _normalized_order(self, order_columns: list[list],
+                          start: int, end: int) -> list[Any] | None:
+        """Slice of the first order-key column, ascending-normalized."""
+        if not self._order_keys:
+            return None
+        _, ascending = self._order_keys[0]
+        column = order_columns[0][start:end]
+        if ascending:
+            return column
+        return [None if value is None else -value for value in column]
+
+    def _partition_spans(self, total: int,
+                         partition_columns: list[list],
+                         ) -> list[tuple[int, int]]:
+        """Contiguous (start, end) spans of equal partition keys."""
+        if not partition_columns:
+            return [(0, total)]
+        spans: list[tuple[int, int]] = []
+        start = 0
+        current = tuple(column[0] for column in partition_columns)
+        for index in range(1, total):
+            candidate = tuple(column[index]
+                              for column in partition_columns)
+            if candidate != current:
+                spans.append((start, index))
+                start = index
+                current = candidate
+        spans.append((start, total))
+        return spans
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        size = _resolve_batch_size(size)
+        buffered: list[tuple] = []
+        for batch in self.child.batches(size):
+            buffered.extend(batch.rows())
+        if not self.presorted:
+            self.sorted_rows = len(buffered)
+        if not buffered:
+            return
+        width_in = len(self.child.schema)
+        big = RowBatch.from_rows(buffered, width_in)
+        partition_columns = self._eval_columns(
+            big, self._batch_partition, self._partition_keys)
+        order_columns = self._eval_columns(
+            big, self._batch_order, [key for key, _ in self._order_keys])
+        argument_columns: list[list | None] = []
+        for index, spec in enumerate(self.functions):
+            if spec.argument is None:
+                argument_columns.append(None)
+            elif self._batch_arguments is not None \
+                    and self._batch_arguments[index] is not None:
+                argument_columns.append(self._batch_arguments[index](big))
+            else:
+                argument_columns.append(
+                    [spec.argument(row) for row in buffered])
+        if not self.presorted:
+            # Stable multi-pass index sort over precomputed key arrays:
+            # order keys last-to-first, then the composite partition key,
+            # matching the scalar path's per-pass row sorts.
+            order = list(range(len(buffered)))
+            for column, (_, ascending) in zip(reversed(order_columns),
+                                              reversed(self._order_keys)):
+                keyed = sort_key_column(column)
+                order.sort(key=keyed.__getitem__, reverse=not ascending)
+            if partition_columns:
+                composite = list(zip(*[sort_key_column(column)
+                                       for column in partition_columns]))
+                order.sort(key=composite.__getitem__)
+            buffered = [buffered[i] for i in order]
+            partition_columns = [[column[i] for i in order]
+                                 for column in partition_columns]
+            order_columns = [[column[i] for i in order]
+                             for column in order_columns]
+            argument_columns = [
+                None if column is None else [column[i] for i in order]
+                for column in argument_columns]
+            big = RowBatch.from_rows(buffered, width_in)
+        sorted_columns = big.columns
+        spans = self._partition_spans(len(buffered), partition_columns)
+        partitions = [buffered[start:end] for start, end in spans]
+        parallel_columns = self._evaluate_parallel(partitions)
+        func_count = len(self.functions)
+        out_columns: list[list] = [[] for _ in range(width_in + func_count)]
+        pending = 0
+        for span_index, (start, end) in enumerate(spans):
+            if parallel_columns is not None:
+                computed = parallel_columns[span_index]
+            else:
+                order_slice = self._normalized_order(order_columns,
+                                                     start, end)
+                computed = []
+                for index, spec in enumerate(self.functions):
+                    arguments = (None if argument_columns[index] is None
+                                 else argument_columns[index][start:end])
+                    computed.append(self._evaluate(
+                        spec, partitions[span_index],
+                        order_values=order_slice, arguments=arguments))
+            for position in range(width_in):
+                out_columns[position].extend(
+                    sorted_columns[position][start:end])
+            for position, column in enumerate(computed):
+                out_columns[width_in + position].extend(column)
+            pending += end - start
+            if pending >= size:
+                self.actual_rows += pending
+                self.actual_batches += 1
+                yield RowBatch(out_columns, pending)
+                out_columns = [[] for _ in range(width_in + func_count)]
+                pending = 0
+        if pending:
+            self.actual_rows += pending
+            self.actual_batches += 1
+            yield RowBatch(out_columns, pending)
 
     def _parallel_workers(self, partitions: list[list[tuple]]) -> int:
         if not self.parallel or len(partitions) < 2:
@@ -385,15 +533,26 @@ class WindowOp(PhysicalNode):
     # ------------------------------------------------------------------
 
     def _evaluate(self, spec: WindowFuncSpec,
-                  partition: list[tuple]) -> list[Any]:
+                  partition: list[tuple],
+                  order_values: list[Any] | None = None,
+                  arguments: list[Any] | None = None) -> list[Any]:
+        """Window column for one partition.
+
+        ``order_values`` / ``arguments`` may be supplied precomputed (the
+        batch path slices them out of whole-input columns); otherwise
+        they are derived from the partition rows here.
+        """
         size = len(partition)
         if spec.name == "row_number":
             return list(range(1, size + 1))
         if spec.name in ("lag", "lead"):
-            argument = spec.argument
-            if argument is None:
-                raise ExecutionError(f"{spec.name}() requires an argument")
-            values = [argument(row) for row in partition]
+            if arguments is None:
+                argument = spec.argument
+                if argument is None:
+                    raise ExecutionError(
+                        f"{spec.name}() requires an argument")
+                arguments = [argument(row) for row in partition]
+            values = arguments
             offset = spec.offset
             if offset == 0:
                 return values
@@ -401,10 +560,10 @@ class WindowOp(PhysicalNode):
             if spec.name == "lag":
                 return padding + values[:size - offset]
             return values[offset:] + padding
-        order_values = (self._order_values(partition)
-                        if self._order_keys else None)
-        arguments = (None if spec.count_star
-                     else [spec.argument(row) for row in partition])
+        if order_values is None and self._order_keys:
+            order_values = self._order_values(partition)
+        if arguments is None and not spec.count_star:
+            arguments = [spec.argument(row) for row in partition]
         if self.naive:
             return self._evaluate_naive(spec, size, order_values, arguments)
         return self._evaluate_sliding(spec, size, order_values, arguments)

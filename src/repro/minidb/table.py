@@ -34,6 +34,8 @@ class Table:
         self.rows: list[tuple] = []
         self.indexes: dict[str, SortedIndex] = {}
         self.version = 0
+        self._columns: list[list] | None = None
+        self._columns_version = -1
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -121,6 +123,22 @@ class Table:
     def scan(self) -> Iterator[tuple]:
         """Yield all rows in insertion order."""
         return iter(self.rows)
+
+    def columnar(self) -> list[list]:
+        """The table contents as one list per column (insertion order).
+
+        The transpose is cached and keyed on ``version``, so repeated
+        vectorized scans of an unchanged table pay for it once. Callers
+        must not mutate the returned lists (batch columns are shared,
+        never written in place).
+        """
+        if self._columns is None or self._columns_version != self.version:
+            if self.rows:
+                self._columns = [list(column) for column in zip(*self.rows)]
+            else:
+                self._columns = [[] for _ in self.schema]
+            self._columns_version = self.version
+        return self._columns
 
     def column_values(self, name: str) -> Iterator[Any]:
         """Yield the values of one column across all rows."""

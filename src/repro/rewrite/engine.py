@@ -32,6 +32,7 @@ from repro.minidb.plan.physical import PhysicalNode
 from repro.minidb.result import ResultSet
 from repro.minidb.sqlparse import parse_select
 from repro.minidb.sqlparse.ast import SelectStmt, TableName
+from repro.minidb.vector import materialize
 from repro.rewrite.cache import CacheOptions, CleansingRegionCache
 from repro.rewrite.context import QueryContext, extract_context
 from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
@@ -214,7 +215,7 @@ class DeferredCleansingEngine:
         """Rewrite and run *query*, returning cleansed results."""
         result = self.rewrite(query, strategies)
         plan = result.physical
-        rows = list(plan.rows())
+        rows = materialize(plan)
         return ResultSet([f.name for f in plan.schema], rows)
 
     def execute_with_metrics(
@@ -223,7 +224,7 @@ class DeferredCleansingEngine:
     ) -> tuple[ResultSet, ExecutionMetrics, RewriteResult]:
         result = self.rewrite(query, strategies)
         plan = result.physical
-        rows = list(plan.rows())
+        rows = materialize(plan)
         metrics = ExecutionMetrics.from_plan(plan)
         return (ResultSet([f.name for f in plan.schema], rows), metrics,
                 result)
@@ -277,7 +278,7 @@ class DeferredCleansingEngine:
         if entry is None:
             subplan = expanded_subplan(self.database, self.registry, rules,
                                        table_name, analysis.ec_conjuncts)
-            rows = list(self.database.plan(subplan).rows())
+            rows = materialize(self.database.plan(subplan))
             entry = cache.store(table, rule_key, analysis.ec_conjuncts,
                                 rows)
             if entry is None:

@@ -71,6 +71,10 @@ def apply_to_fixpoint(database: Database, rules: list[CompiledRule],
                 converged = True
                 break
             scratch.rows = list(current)
+            # Direct row replacement bypasses insert/bulk_load, so bump
+            # the version by hand: consumers keyed on it (prepared plans,
+            # the columnar scan cache) must see this as a new table state.
+            scratch.version += 1
             for index in list(scratch.indexes.values()):
                 scratch._rebuild_index(index)
             database.analyze(scratch_name)
