@@ -21,11 +21,14 @@ path and diffs canonicalized row bags against the naive strategy
 ``eager``                 materialize Φ_C(R) up front, query the copy
 ``plan-cache``            the eager query re-run through the prepared-
                           plan cache (hit must reproduce the miss)
-``parallel``              naive re-run with fork-pool window evaluation
+``parallel``              naive re-run with shard-parallel execution
                           forced on (threshold lowered, 2 workers)
 ``vectorized``            naive re-run under batch execution with a
                           small odd batch size (stressing chunk
                           boundaries); metrics must show batches ran
+``sharded``               naive re-run with the shard pool (2 workers)
+                          *and* batch size 7 together; metrics must
+                          show at least one Exchange dispatched
 ========================  =============================================
 
 The baseline itself is computed with batch execution disabled
@@ -50,6 +53,7 @@ from repro.fuzz.cases import READS_COLUMNS, FuzzCase
 from repro.minidb.engine import Database
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.optimizer.planner import PlannerOptions
+from repro.minidb.plan.shard import ExchangeOp
 from repro.minidb.types import SqlType
 from repro.minidb.vector import forced_batch_size
 from repro.rewrite.cache import CacheOptions
@@ -63,7 +67,7 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 #: Every comparison the oracle can run, in execution order.
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
-              "parallel", "vectorized")
+              "parallel", "vectorized", "sharded")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -142,26 +146,28 @@ def build_database(case: FuzzCase) -> tuple[Database, RuleRegistry]:
 @contextlib.contextmanager
 def forced_parallel_windows(workers: int = 2,
                             threshold: int = 1) -> Iterator[None]:
-    """Force the per-sequence parallel window path on for a block.
+    """Force shard-parallel execution on for a block.
 
-    Fuzz datasets sit far below ``PARALLEL_ROW_THRESHOLD``, so the
+    Fuzz datasets sit far below ``SHARD_ROW_THRESHOLD``, so the
     threshold is lowered and the worker count pinned via
-    ``REPRO_PARALLEL`` for the duration; both are restored afterwards.
+    ``REPRO_WORKERS`` for the duration; both are restored afterwards.
+    (The name predates the shard executor, when only windows went
+    parallel; it is kept because regression files import it.)
     """
-    from repro.minidb.plan import window
+    from repro.minidb.plan import shard
 
-    saved_threshold = window.PARALLEL_ROW_THRESHOLD
-    saved_env = os.environ.get("REPRO_PARALLEL")
-    window.PARALLEL_ROW_THRESHOLD = threshold
-    os.environ["REPRO_PARALLEL"] = str(workers)
+    saved_threshold = shard.SHARD_ROW_THRESHOLD
+    saved_env = os.environ.get("REPRO_WORKERS")
+    shard.SHARD_ROW_THRESHOLD = threshold
+    os.environ["REPRO_WORKERS"] = str(workers)
     try:
         yield
     finally:
-        window.PARALLEL_ROW_THRESHOLD = saved_threshold
+        shard.SHARD_ROW_THRESHOLD = saved_threshold
         if saved_env is None:
-            os.environ.pop("REPRO_PARALLEL", None)
+            os.environ.pop("REPRO_WORKERS", None)
         else:
-            os.environ["REPRO_PARALLEL"] = saved_env
+            os.environ["REPRO_WORKERS"] = saved_env
 
 
 def _diff(baseline: Sequence[tuple],
@@ -286,9 +292,12 @@ def run_case(case: FuzzCase,
         parallel_db.options = options
         parallel_engine = DeferredCleansingEngine(parallel_db,
                                                   parallel_registry)
-        with forced_parallel_windows():
-            return parallel_engine.execute(
-                sql, strategies={"naive"}).canonical()
+        try:
+            with forced_parallel_windows():
+                return parallel_engine.execute(
+                    sql, strategies={"naive"}).canonical()
+        finally:
+            parallel_db.close()
 
     compare("parallel", parallel)
 
@@ -300,11 +309,40 @@ def run_case(case: FuzzCase,
         with forced_batch_size(7):
             result, metrics, _ = vector_engine.execute_with_metrics(
                 sql, strategies={"naive"})
-        if case.reads_rows and metrics.batches == 0:
+        # An empty result can ride an empty index range that emits no
+        # batches at all; only a non-empty result proves batches flowed.
+        if result.rows and metrics.batches == 0:
             raise AssertionError(
                 "vectorized strategy executed zero batches — the batch "
                 "path did not run")
         return result.canonical()
 
     compare("vectorized", vectorized)
+
+    def sharded() -> tuple[tuple, ...]:
+        shard_db, shard_registry = build_database(case)
+        shard_engine = DeferredCleansingEngine(shard_db, shard_registry)
+        # Shard pool and batch path together: 2 workers over key-mode
+        # morsels, with batch size 7 forcing awkward chunk boundaries
+        # inside each worker as well.
+        try:
+            with forced_parallel_windows(workers=2, threshold=1), \
+                    forced_batch_size(7):
+                result, metrics, choice = shard_engine.execute_with_metrics(
+                    sql, strategies={"naive"})
+        finally:
+            shard_db.close()
+        # Not every plan can shard (an equality conjunct may become an
+        # IndexRangeScan, which has no SeqScan spine) — but when the
+        # planner DID wrap a segment, a silent serial fallback here
+        # would mean the label never exercises the pool.
+        planned = any(isinstance(node, ExchangeOp)
+                      for node in choice.chosen.physical.walk())
+        if planned and metrics.sharded_segments == 0:
+            raise AssertionError(
+                "sharded strategy dispatched zero Exchange segments — "
+                "the shard pool did not run")
+        return result.canonical()
+
+    compare("sharded", sharded)
     return report

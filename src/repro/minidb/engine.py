@@ -14,13 +14,16 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.minidb import parallel
 from repro.minidb.catalog import Catalog
 from repro.minidb.optimizer.cost import CostModel
 from repro.minidb.optimizer.planner import Planner, PlannerOptions
 from repro.minidb.optimizer.stats import StatsRepository
+from repro.minidb.plan import shard
 from repro.minidb.plan.builder import build_plan
 from repro.minidb.plan.logical import LogicalNode
 from repro.minidb.plan.physical import FilterOp, PhysicalNode, SortOp
+from repro.minidb.plan.shard import ExchangeOp
 from repro.minidb.plan.window import WindowOp
 from repro.minidb.vector import materialize
 from repro.minidb.result import ResultSet
@@ -70,6 +73,22 @@ class ExecutionMetrics:
     filter_output_rows: int = 0
     #: (operator label, rows produced) per plan node in walk order.
     operator_rows: list[tuple[str, int]] = field(default_factory=list)
+    #: Exchange operators that actually fanned out to the shard pool.
+    sharded_segments: int = 0
+    #: Largest pool size any Exchange used this execution (0 = serial).
+    shard_workers: int = 0
+    #: Morsels dispatched / morsels run by a worker other than their
+    #: round-robin home (work stealing), summed over all Exchanges.
+    shard_morsels: int = 0
+    shard_steals: int = 0
+    #: Rows produced per morsel, concatenated across Exchanges in plan
+    #: walk order — the shard balance the morsel builder achieved.
+    shard_rows: list[int] = field(default_factory=list)
+    #: Shard-pool lifecycle counters for the call that produced these
+    #: metrics (filled in by ``Database.execute_with_metrics``); a reused
+    #: warm pool shows spawns=0.
+    pool_spawns: int = 0
+    pool_reuses: int = 0
 
     @property
     def selection_density(self) -> float | None:
@@ -97,6 +116,13 @@ class ExecutionMetrics:
                 metrics.sort_operators += 1
             if isinstance(node, WindowOp) and node.parallel_workers:
                 metrics.parallel_window_ops += 1
+            if isinstance(node, ExchangeOp) and node.workers_used:
+                metrics.sharded_segments += 1
+                metrics.shard_workers = max(metrics.shard_workers,
+                                            node.workers_used)
+                metrics.shard_morsels += node.morsel_count
+                metrics.shard_steals += node.steal_count
+                metrics.shard_rows.extend(node.per_shard_rows)
         return metrics
 
 
@@ -175,6 +201,64 @@ class Database:
         self.cost_model = CostModel()
         self.options = options or PlannerOptions()
         self.plan_cache = PreparedPlanCache(plan_cache_size)
+        self._shard_pool: parallel.ShardWorkerPool | None = None
+        #: Lifetime shard-pool counters; the pool-reuse invariant ("one
+        #: spawn per database state, not per query") is pinned on these.
+        self.pool_spawns = 0
+        self.pool_reuses = 0
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter may be tearing down
+            pass
+
+    def close(self) -> None:
+        """Release the shard pool (if any); the database stays usable."""
+        pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.close()
+
+    # -- shard pool ---------------------------------------------------------
+
+    def _pool_fingerprint(self) -> tuple:
+        """Everything a forked worker snapshot depends on.
+
+        Workers hold fork-time copies of the catalog and table rows, so
+        any data/DDL/stats change — or a knob change that alters plan
+        shapes — makes the current pool stale.
+        """
+        return (self.catalog.version, self.stats.version,
+                tuple(table.version for table in self.catalog),
+                parallel.configured_worker_count(),
+                shard.SHARD_ROW_THRESHOLD)
+
+    def shard_pool(self) -> "parallel.ShardWorkerPool | None":
+        """The persistent worker pool, spawning or respawning as needed.
+
+        Returns None when ``REPRO_WORKERS`` disables parallelism. The
+        pool is forked lazily on the first dispatch and reused across
+        queries until the database fingerprint moves.
+        """
+        workers = parallel.configured_worker_count()
+        if workers < 2:
+            self.close()
+            return None
+        fingerprint = self._pool_fingerprint()
+        pool = self._shard_pool
+        if pool is not None and pool.alive \
+                and pool.fingerprint == fingerprint:
+            self.pool_reuses += 1
+            return pool
+        self.close()
+        pool = parallel.ShardWorkerPool(self, workers, fingerprint)
+        self._shard_pool = pool
+        self.pool_spawns += 1
+        return pool
+
+    def discard_shard_pool(self) -> None:
+        """Drop a failed pool so the next dispatch forks a fresh one."""
+        self.close()
 
     # -- DDL / loading ------------------------------------------------------
 
@@ -229,10 +313,33 @@ class Database:
         return build_plan(query, self.catalog)
 
     def _fingerprint(self, options: PlannerOptions) -> tuple:
-        """The staleness key guarding prepared-plan reuse."""
+        """The staleness key guarding prepared-plan reuse.
+
+        The worker count and shard threshold participate because the
+        shard pass changes the plan *shape* with them: a plan cached
+        under one setting must not be replayed under another.
+        """
         return (self.catalog.version, self.stats.version,
                 tuple(table.version for table in self.catalog),
-                tuple(sorted(vars(options).items())))
+                tuple(sorted(vars(options).items())),
+                parallel.configured_worker_count(),
+                shard.SHARD_ROW_THRESHOLD)
+
+    def _arm_exchanges(self, plan: PhysicalNode, logical: LogicalNode,
+                       options: PlannerOptions) -> None:
+        """Attach the dispatch payload to every Exchange in *plan*.
+
+        The payload is the pickled logical plan + options: workers
+        re-plan it serially to reconstruct the segment subtrees. Plans
+        without Exchanges pay nothing here.
+        """
+        exchanges = [node for node in plan.walk()
+                     if isinstance(node, ExchangeOp)]
+        if not exchanges:
+            return
+        payload = parallel.dumps_plan(logical, options)
+        for exchange in exchanges:
+            exchange.attach(self, payload)
 
     def plan(self, query: str | SelectStmt | LogicalNode,
              options: PlannerOptions | None = None) -> PhysicalNode:
@@ -257,12 +364,17 @@ class Database:
                 self.plan_cache.remember_parsed(query, statement)
             planner = Planner(self.catalog, self.stats, self.cost_model,
                               effective)
-            plan = planner.plan(build_plan(statement, self.catalog))
+            logical = build_plan(statement, self.catalog)
+            plan = planner.plan(logical)
+            self._arm_exchanges(plan, logical, effective)
             self.plan_cache.remember_plan(query, fingerprint, plan)
             return plan
         planner = Planner(self.catalog, self.stats, self.cost_model,
                           effective)
-        return planner.plan(self._to_logical(query))
+        logical = self._to_logical(query)
+        plan = planner.plan(logical)
+        self._arm_exchanges(plan, logical, effective)
+        return plan
 
     def explain(self, query: str | SelectStmt | LogicalNode,
                 options: PlannerOptions | None = None) -> Explained:
@@ -338,10 +450,14 @@ class Database:
         """Run *query* and also report per-operator work counters."""
         hits_before = self.plan_cache.hits
         misses_before = self.plan_cache.misses
+        spawns_before = self.pool_spawns
+        reuses_before = self.pool_reuses
         plan = self.plan(query, options)
         rows = materialize(plan)
         columns = [out.name for out in plan.schema]
         metrics = ExecutionMetrics.from_plan(plan)
         metrics.plan_cache_hits = self.plan_cache.hits - hits_before
         metrics.plan_cache_misses = self.plan_cache.misses - misses_before
+        metrics.pool_spawns = self.pool_spawns - spawns_before
+        metrics.pool_reuses = self.pool_reuses - reuses_before
         return (ResultSet(columns, rows), metrics)

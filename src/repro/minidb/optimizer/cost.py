@@ -31,9 +31,15 @@ class CostModel:
     DISTINCT_ROW = 0.9
     SEMI_BUILD_ROW = 1.0
     SEMI_PROBE_ROW = 0.8
-    #: Marginal speedup per extra window worker (fork + result-transfer
-    #: overhead keeps scaling well below linear).
+    #: Marginal speedup per extra shard worker (dispatch + result-
+    #: transfer overhead keeps scaling well below linear).
     PARALLEL_EFFICIENCY = 0.7
+    #: Per-row cost of shipping a result tuple back from a worker.
+    EXCHANGE_ROW = 0.05
+    #: Fixed per-query dispatch cost of an Exchange (morsel setup,
+    #: payload transfer, merge bookkeeping) — the pool fork itself is
+    #: amortized across queries and not charged here.
+    EXCHANGE_SETUP = 50.0
 
     def seq_scan(self, table_rows: float) -> float:
         return self.SCAN_ROW * table_rows
@@ -78,3 +84,15 @@ class CostModel:
     def semi_join(self, build_rows: float, probe_rows: float) -> float:
         return (self.SEMI_BUILD_ROW * build_rows
                 + self.SEMI_PROBE_ROW * probe_rows)
+
+    def exchange(self, segment_cost: float, output_rows: float,
+                 workers: int) -> float:
+        """Total cost of a sharded segment run across *workers*.
+
+        Replaces the segment's serial cost (it is divided by the
+        effective parallelism), so the rewrite chooser ranks candidate
+        rewrites on what they will actually cost under the pool.
+        """
+        scaled = segment_cost / (1.0 + self.PARALLEL_EFFICIENCY
+                                 * (max(workers, 1) - 1))
+        return scaled + self.EXCHANGE_ROW * output_rows + self.EXCHANGE_SETUP

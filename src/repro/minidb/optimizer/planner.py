@@ -67,12 +67,9 @@ from repro.minidb.plan.physical import (
     SortOp,
     UnionAllOp,
 )
-from repro.minidb.plan.window import (
-    PARALLEL_ROW_THRESHOLD,
-    WindowFuncSpec,
-    WindowOp,
-    configured_worker_count,
-)
+from repro.minidb.plan.shard import apply_sharding
+from repro.minidb.plan.window import WindowFuncSpec, WindowOp
+from repro.minidb.parallel import configured_worker_count
 
 __all__ = ["Planner", "PlannerOptions"]
 
@@ -86,10 +83,15 @@ class PlannerOptions:
     order_sharing: bool = True
     naive_windows: bool = False
     push_filters: bool = True
-    #: Evaluate window partitions across a fork-based worker pool (the
-    #: per-sequence parallel cleansing path); still subject to the row
-    #: threshold and ``REPRO_PARALLEL`` gates at execution time.
+    #: Historical toggle for the retired per-window fork pool; kept so
+    #: ablation configs keep parsing. Parallelism is now planned as
+    #: Exchange segments (see ``shard_parallel``), which subsume the
+    #: per-sequence window path.
     parallel_windows: bool = False
+    #: Wrap shardable pipeline segments in Exchange operators; still
+    #: subject to the ``REPRO_WORKERS`` and row-threshold gates at both
+    #: plan and execution time.
+    shard_parallel: bool = True
 
 
 class Planner:
@@ -108,6 +110,20 @@ class Planner:
 
     def plan(self, logical: LogicalNode) -> PhysicalNode:
         """Optimize and lower *logical* into an executable plan."""
+        root = self.plan_unsharded(logical)
+        if self._options.shard_parallel:
+            workers = configured_worker_count()
+            if workers >= 2:
+                root = apply_sharding(root, workers, self._cost)
+        return root
+
+    def plan_unsharded(self, logical: LogicalNode) -> PhysicalNode:
+        """Lower *logical* without the shard post-pass.
+
+        Pool workers call this (via ``shard_parallel=False``) to rebuild
+        the exact serial plan shape the parent's Exchange walk indices
+        refer to.
+        """
         optimized = push_down_filters(logical) \
             if self._options.push_filters else logical
         return self._lower(optimized)
@@ -690,16 +706,11 @@ class Planner:
                       order_exprs=[spec.expr for spec in node.order_by],
                       argument_exprs=[call.argument
                                       for call, _ in node.functions])
-        workers = 1
-        if self._options.parallel_windows and partition_keys \
-                and child.estimated_rows >= PARALLEL_ROW_THRESHOLD:
-            workers = max(1, configured_worker_count())
         op.estimated_rows = child.estimated_rows
         op.estimated_cost = (child.estimated_cost
                              + self._cost.window(child.estimated_rows,
                                                  len(specs),
-                                                 needs_sort=not presorted,
-                                                 parallel_workers=workers))
+                                                 needs_sort=not presorted))
         return op
 
     # -- sort ---------------------------------------------------------------

@@ -172,26 +172,55 @@ class PhysicalNode:
                 node.sorted_rows = 0
             if hasattr(node, "input_rows"):
                 node.input_rows = 0
+            if hasattr(node, "workers_used"):  # ExchangeOp
+                node.workers_used = 0
+                node.morsel_count = 0
+                node.steal_count = 0
+                node.per_shard_rows = []
 
 
 class SeqScan(PhysicalNode):
-    """Full scan of a stored table in insertion order."""
+    """Full scan of a stored table in insertion order.
 
-    __slots__ = ('table',)
+    ``shard`` restricts the scan to one morsel of a shard-parallel
+    dispatch (see ``plan.shard``): either a contiguous row range
+    ``("block", lo, hi)`` or a key-value set ``("key", position,
+    values)``. Pool workers set it around each morsel execution; it is
+    always None in serial plans.
+    """
+
+    __slots__ = ('table', 'shard')
 
     def __init__(self, table: Table, schema: PlanSchema) -> None:
         super().__init__()
         self.table = table
         self.schema = schema
+        self.shard: tuple | None = None
+
+    def _shard_rows(self) -> Iterator[tuple]:
+        kind = self.shard[0]
+        if kind == "block":
+            _, lo, hi = self.shard
+            yield from self.table.rows[lo:hi]
+            return
+        _, position, values = self.shard
+        for row in self.table.rows:
+            if row[position] in values:
+                yield row
 
     def scalar_rows(self) -> Iterator[tuple]:
-        for row in self.table.rows:
+        source = self.table.rows if self.shard is None \
+            else self._shard_rows()
+        for row in source:
             self.actual_rows += 1
             yield row
 
     def batches(self, size: int | None = None) -> Iterator[RowBatch]:
         size = _resolve_batch_size(size)
         columns = self.table.columnar()
+        if self.shard is not None:
+            yield from self._shard_batches(columns, size)
+            return
         total = len(self.table.rows)
         for lo in range(0, total, size):
             hi = min(lo + size, total)
@@ -199,8 +228,32 @@ class SeqScan(PhysicalNode):
             self.actual_batches += 1
             yield RowBatch([column[lo:hi] for column in columns], hi - lo)
 
+    def _shard_batches(self, columns: list[list],
+                       size: int) -> Iterator[RowBatch]:
+        kind = self.shard[0]
+        if kind == "block":
+            _, shard_lo, shard_hi = self.shard
+            for lo in range(shard_lo, shard_hi, size):
+                hi = min(lo + size, shard_hi)
+                self.actual_rows += hi - lo
+                self.actual_batches += 1
+                yield RowBatch([column[lo:hi] for column in columns],
+                               hi - lo)
+            return
+        _, position, values = self.shard
+        key_column = columns[position] if columns else []
+        selected = [i for i, value in enumerate(key_column)
+                    if value in values]
+        for lo in range(0, len(selected), size):
+            chunk = selected[lo:lo + size]
+            self.actual_rows += len(chunk)
+            self.actual_batches += 1
+            yield RowBatch([[column[i] for i in chunk]
+                            for column in columns], len(chunk))
+
     def label(self) -> str:
-        return f"SeqScan({self.table.name})"
+        suffix = "" if self.shard is None else f" shard={self.shard[0]}"
+        return f"SeqScan({self.table.name}){suffix}"
 
 
 class IndexRangeScan(PhysicalNode):

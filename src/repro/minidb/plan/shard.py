@@ -1,0 +1,372 @@
+"""Shard-parallel segment planning and the Exchange operator.
+
+The cleansing template Φ_C evaluates every rule per *sequence*
+(``PARTITION BY <cluster key> ORDER BY <sequence key>``), so the whole
+pipeline below a query's blocking points is embarrassingly parallel
+across cluster-key partitions. This module finds those pipeline
+*segments*, wraps each in an :class:`ExchangeOp`, and at execution time
+fans the segment out over the database's persistent worker pool
+(:mod:`repro.minidb.parallel`) as *morsels* — shard specs applied to the
+segment's base :class:`SeqScan`.
+
+Segment anatomy
+===============
+
+A segment is a maximal subtree whose **spine** — the chain of
+pipeline-side children from the segment root down — ends in a
+``SeqScan``. Spine operators are the ones whose output for a subset of
+scan rows equals the restriction of their full output (filter, project,
+pass-through, the probe side of joins, and — under the key-mode rules
+below — sort and window). Everything hanging off the spine (join build
+sides, semi-join right inputs) is a **broadcast** subtree: each worker
+executes it in full, deterministically, exactly as the serial plan
+would.
+
+Two morsel shapes:
+
+* **block mode** — no sort/window on the spine: morsels are contiguous
+  row ranges of the base table. Every spine operator is
+  order-preserving and streaming, so concatenating morsel outputs in
+  range order reproduces the serial row order byte for byte.
+* **key mode** — the spine contains sorts and/or windows: all of them
+  must lead with one ascending base-table column (the cluster key).
+  Morsels are then disjoint sets of key values, chunked in ascending
+  key order and balanced by row count. A stable sort of a key-range
+  subset is the restriction of the full stable sort, and windows
+  partitioned by the key never see a partition split across morsels,
+  so chunk-order concatenation again equals serial output exactly.
+
+Plans are wrapped only when the spine scan's *estimated* rows reach
+:data:`SHARD_ROW_THRESHOLD` (patchable in tests); the Exchange declines
+at run time for the same reason, and whenever the pool is unavailable,
+falling back to plain serial pass-through.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.minidb.plan.physical import (
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    PassThroughOp,
+    PhysicalNode,
+    ProjectOp,
+    SemiJoinOp,
+    SeqScan,
+    SortOp,
+    _resolve_batch_size,
+)
+from repro.minidb.plan.window import WindowOp
+from repro.minidb.types import sort_key
+from repro.minidb.vector import RowBatch, configured_batch_size
+
+__all__ = [
+    "SHARD_ROW_THRESHOLD",
+    "MORSELS_PER_WORKER",
+    "ExchangeOp",
+    "apply_sharding",
+    "build_morsels",
+    "segment_scan",
+    "spine_flags",
+]
+
+#: Minimum (estimated at plan time, actual at run time) base-scan rows
+#: before a segment is worth fanning out; below this the dispatch and
+#: result-transfer overhead dominates. Tests patch this down to force
+#: sharding on tiny tables.
+SHARD_ROW_THRESHOLD = 4096
+
+#: Morsels created per pool worker. More than one lets the shared task
+#: queue balance skew (work stealing); too many wastes per-morsel
+#: dispatch overhead.
+MORSELS_PER_WORKER = 2
+
+#: The pipeline-side child attribute per spine-eligible operator type.
+_SPINE_CHILD: dict[type, str] = {
+    FilterOp: "child",
+    ProjectOp: "child",
+    PassThroughOp: "child",
+    SortOp: "child",
+    WindowOp: "child",
+    HashJoinOp: "left",
+    NestedLoopJoinOp: "left",
+    SemiJoinOp: "left",
+}
+
+#: Child attributes rewritten when recursing past a non-shardable node.
+_CHILD_SLOTS = ("child", "left", "right")
+
+
+def _spine_path(node: PhysicalNode) -> list[PhysicalNode] | None:
+    """The spine from *node* down to a ``SeqScan``, or None."""
+    path: list[PhysicalNode] = []
+    current = node
+    while True:
+        path.append(current)
+        if isinstance(current, SeqScan):
+            return path
+        attribute = _SPINE_CHILD.get(type(current))
+        if attribute is None:
+            return None
+        current = getattr(current, attribute)
+
+
+def segment_scan(segment: PhysicalNode) -> SeqScan:
+    """The base scan a segment's morsels shard over."""
+    path = _spine_path(segment)
+    if path is None:
+        raise ValueError("node is not a shardable segment")
+    return path[-1]
+
+
+def spine_flags(segment: PhysicalNode) -> list[bool]:
+    """For each node in ``segment.walk()`` order: is it on the spine?
+
+    Used when merging worker metrics — spine counters sum across
+    morsels (each morsel saw a disjoint row subset), while broadcast
+    counters are taken from a single morsel (every morsel re-executed
+    the same broadcast work the serial plan runs once).
+    """
+    spine = {id(node) for node in _spine_path(segment) or ()}
+    return [id(node) in spine for node in segment.walk()]
+
+
+def _shard_key(path: list[PhysicalNode]) -> tuple[str, int | None] | None:
+    """Classify a spine: ``("block", None)``, ``("key", position)``, or
+    None when the spine cannot be sharded safely.
+
+    Key mode demands that every spine sort and window leads with the
+    same ascending base-table column; see the module docstring for why
+    that makes chunk-order merge exact.
+    """
+    scan = path[-1]
+    table_name = scan.table.name
+    key_column: str | None = None
+    for operator in path[:-1]:
+        if not isinstance(operator, (SortOp, WindowOp)):
+            continue
+        if isinstance(operator, WindowOp) and not operator._partition_keys:
+            return None  # a single global partition cannot be split
+        if not operator.ordering:
+            return None
+        position, ascending = operator.ordering[0]
+        if not ascending:
+            return None
+        origin = operator.schema.fields[position].origin
+        if origin is None or origin[0] != table_name:
+            return None
+        if key_column is None:
+            key_column = origin[1]
+        elif key_column != origin[1]:
+            return None
+    if key_column is None:
+        return ("block", None)
+    return ("key", scan.table.schema.position_of(key_column))
+
+
+def build_morsels(table: Any, mode: str, key_position: int | None,
+                  workers: int) -> list[tuple]:
+    """Shard specs covering *table* exactly once, in merge order.
+
+    Block mode yields ``("block", lo, hi)`` row ranges; key mode yields
+    ``("key", position, value_set)`` chunks of ascending distinct key
+    values balanced by row count.
+    """
+    total = len(table.rows)
+    if total == 0:
+        return []
+    target_count = max(1, workers * MORSELS_PER_WORKER)
+    if mode == "block":
+        chunk = -(-total // target_count)  # ceil
+        return [("block", lo, min(lo + chunk, total))
+                for lo in range(0, total, chunk)]
+    column = table.columnar()[key_position]
+    counts: dict[Any, int] = {}
+    for value in column:
+        counts[value] = counts.get(value, 0) + 1
+    ordered = sorted(counts, key=sort_key)
+    target_rows = total / min(target_count, len(ordered))
+    morsels: list[tuple] = []
+    bucket: set = set()
+    accumulated = 0
+    for value in ordered:
+        bucket.add(value)
+        accumulated += counts[value]
+        if accumulated >= target_rows and len(morsels) < target_count - 1:
+            morsels.append(("key", key_position, bucket))
+            bucket = set()
+            accumulated = 0
+    if bucket:
+        morsels.append(("key", key_position, bucket))
+    return morsels
+
+
+class ExchangeOp(PhysicalNode):
+    """Fans its child segment out over the shard pool and merges.
+
+    The operator is *armed* by :meth:`Database.plan`, which attaches the
+    pickled logical plan (the dispatch payload) plus the owning
+    database. Unarmed — or whenever dispatch is declined (pool disabled,
+    table below threshold) or fails — it is a transparent pass-through
+    around the serial child, so plans containing an Exchange never
+    require a pool to run.
+    """
+
+    __slots__ = ("child", "mode", "key_position", "segment_index",
+                 "workers_used", "morsel_count", "steal_count",
+                 "per_shard_rows", "database", "payload")
+
+    def __init__(self, child: PhysicalNode, mode: str,
+                 key_position: int | None, segment_index: int) -> None:
+        super().__init__()
+        self.child = child
+        self.mode = mode
+        self.key_position = key_position
+        self.segment_index = segment_index
+        self.schema = child.schema
+        self.ordering = child.ordering
+        self.workers_used = 0
+        self.morsel_count = 0
+        self.steal_count = 0
+        self.per_shard_rows: list[int] = []
+        self.database: Any = None
+        self.payload: bytes | None = None
+
+    def inputs(self) -> Sequence[PhysicalNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Exchange[{self.mode}]"
+
+    def attach(self, database: Any, payload: bytes) -> None:
+        self.database = database
+        self.payload = payload
+
+    # ------------------------------------------------------------------
+
+    def _try_dispatch(self) -> list[tuple] | None:
+        """Parallel merged rows, or None to run the child serially."""
+        database = self.database
+        if database is None or self.payload is None:
+            return None
+        table = segment_scan(self.child).table
+        if len(table.rows) < SHARD_ROW_THRESHOLD:
+            return None
+        pool = database.shard_pool()
+        if pool is None:
+            return None
+        morsels = build_morsels(table, self.mode, self.key_position,
+                                pool.workers)
+        if not morsels:
+            return None
+        batch_size = configured_batch_size()
+        tasks = [(index, self.payload, self.segment_index, morsel,
+                  batch_size)
+                 for index, morsel in enumerate(morsels)]
+        try:
+            results = pool.dispatch(tasks)
+        except Exception:
+            # A wedged or crashed pool must not poison later queries:
+            # drop it (a fresh one is forked on the next dispatch) and
+            # let this query run serially.
+            database.discard_shard_pool()
+            return None
+        nodes = list(self.child.walk())
+        flags = spine_flags(self.child)
+        self.child.reset_metrics()
+        merged: list[tuple] = []
+        self.per_shard_rows = []
+        steals = 0
+        for index, (worker_id, rows, stats) in enumerate(results):
+            if worker_id != index % pool.workers:
+                steals += 1
+            merged.extend(rows)
+            self.per_shard_rows.append(len(rows))
+            for node, on_spine, counters in zip(nodes, flags, stats):
+                if not on_spine and index > 0:
+                    continue  # broadcasts: one morsel equals one serial run
+                actual_rows, actual_batches, input_rows, sorted_rows = counters
+                node.actual_rows += actual_rows
+                node.actual_batches += actual_batches
+                if hasattr(node, "input_rows"):
+                    node.input_rows += input_rows
+                if hasattr(node, "sorted_rows"):
+                    node.sorted_rows += sorted_rows
+        self.workers_used = min(pool.workers, len(morsels))
+        self.morsel_count = len(morsels)
+        self.steal_count = steals
+        for node, on_spine in zip(nodes, flags):
+            if on_spine and isinstance(node, WindowOp):
+                node.parallel_workers = self.workers_used
+        return merged
+
+    def scalar_rows(self) -> Iterator[tuple]:
+        merged = self._try_dispatch()
+        if merged is None:
+            for row in self.child.rows():
+                self.actual_rows += 1
+                yield row
+            return
+        for row in merged:
+            self.actual_rows += 1
+            yield row
+
+    def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        merged = self._try_dispatch()
+        if merged is None:
+            for batch in self.child.batches(size):
+                self.actual_rows += batch.length
+                self.actual_batches += 1
+                yield batch
+            return
+        size = _resolve_batch_size(size)
+        width = len(self.schema)
+        for lo in range(0, len(merged), size):
+            chunk = merged[lo:lo + size]
+            self.actual_rows += len(chunk)
+            self.actual_batches += 1
+            yield RowBatch.from_rows(chunk, width)
+
+
+def apply_sharding(root: PhysicalNode, workers: int,
+                   cost_model: Any) -> PhysicalNode:
+    """Wrap every maximal shardable segment of *root* in an Exchange.
+
+    Each Exchange records its segment's walk index in the *pre-wrap*
+    plan: workers re-plan the same logical query serially, so that
+    index locates the identical subtree on their side. Ancestor cost
+    estimates are adjusted by the Exchange's cost delta so the rewrite
+    chooser keeps comparing candidates on honest parallel costs.
+    """
+    index_of = {id(node): index
+                for index, node in enumerate(root.walk())}
+
+    def rewrite(node: PhysicalNode) -> tuple[PhysicalNode, float]:
+        path = _spine_path(node)
+        if path is not None and len(path) >= 2:
+            scan = path[-1]
+            classified = _shard_key(path)
+            if classified is not None \
+                    and scan.estimated_rows >= SHARD_ROW_THRESHOLD:
+                mode, key_position = classified
+                exchange = ExchangeOp(node, mode, key_position,
+                                      index_of[id(node)])
+                exchange.estimated_rows = node.estimated_rows
+                exchange.estimated_cost = cost_model.exchange(
+                    node.estimated_cost, node.estimated_rows, workers)
+                return exchange, exchange.estimated_cost - node.estimated_cost
+        delta = 0.0
+        for attribute in _CHILD_SLOTS:
+            child = getattr(node, attribute, None)
+            if isinstance(child, PhysicalNode):
+                replacement, child_delta = rewrite(child)
+                setattr(node, attribute, replacement)
+                delta += child_delta
+        if delta:
+            node.estimated_cost += delta
+        return node, delta
+
+    rewritten, _ = rewrite(root)
+    return rewritten

@@ -20,21 +20,18 @@ Execution outline:
 A ``naive`` mode re-scans the frame for every row; it exists only for
 the ablation benchmark contrasting the two strategies.
 
-Partitions are independent, so step 3 parallelizes per sequence: when
-the operator was planned with ``parallel`` enabled, the sorted input
-exceeds :data:`PARALLEL_ROW_THRESHOLD` rows, and the platform supports
-fork-based multiprocessing, contiguous partition chunks are evaluated
-across a worker pool. Only chunk index spans travel to the workers
-(they inherit the buffered rows and bound key closures through fork,
-which cannot be pickled) and only the computed window columns travel
-back. ``REPRO_PARALLEL=0`` disables it, ``REPRO_PARALLEL=<n>`` pins the
-worker count, and any pool failure falls back to the serial path.
+Partitions are independent, so the whole operator parallelizes per
+sequence. That no longer happens here: the planner's shard pass
+(``plan.shard``) wraps eligible window pipelines in an Exchange, which
+runs this operator per cluster-key morsel inside the database's
+persistent worker pool — replacing the fork-per-query pool this module
+used to spawn. ``parallel_workers`` is kept as the per-execution
+metric: the Exchange sets it to the pool size it used, and serial
+executions zero it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from collections import deque
 from typing import Any, Callable, Iterator, Sequence
 
@@ -46,61 +43,7 @@ from repro.minidb.plan.planschema import PlanSchema
 from repro.minidb.types import sort_key, sort_key_column
 from repro.minidb.vector import RowBatch
 
-__all__ = ["WindowOp", "WindowFuncSpec", "PARALLEL_ROW_THRESHOLD",
-           "configured_worker_count"]
-
-#: Minimum buffered rows before the parallel path is considered; below
-#: this the fork + result-pickling overhead outweighs the win.
-PARALLEL_ROW_THRESHOLD = 5000
-
-#: State inherited by forked pool workers: (operator, partition list).
-#: Set immediately before the pool forks, cleared right after.
-_FORK_STATE: tuple["WindowOp", list[list[tuple]]] | None = None
-
-
-def configured_worker_count() -> int:
-    """Worker-pool size from ``REPRO_PARALLEL``; 0 disables.
-
-    Unset → ``min(4, cpu_count)``; ``0`` (or junk) → disabled; a
-    positive integer pins the count.
-    """
-    env = os.environ.get("REPRO_PARALLEL", "").strip()
-    if env:
-        try:
-            return max(0, int(env))
-        except ValueError:
-            return 0
-    return min(4, os.cpu_count() or 1)
-
-
-def _eval_chunk(span: tuple[int, int]) -> list[list[list[Any]]]:
-    """Pool worker: window columns for partitions ``span[0]:span[1]``."""
-    operator, partitions = _FORK_STATE
-    start, end = span
-    return [[operator._evaluate(spec, partition)
-             for spec in operator.functions]
-            for partition in partitions[start:end]]
-
-
-def _balanced_spans(partitions: list[list[tuple]],
-                    workers: int) -> list[tuple[int, int]]:
-    """Split partitions into ≤ *workers* contiguous spans of roughly
-    equal total row count (partition sizes are highly skewed: most EPC
-    sequences are short, a few are long)."""
-    total = sum(len(partition) for partition in partitions)
-    target = total / workers
-    spans: list[tuple[int, int]] = []
-    start = 0
-    accumulated = 0
-    for index, partition in enumerate(partitions):
-        accumulated += len(partition)
-        if accumulated >= target and len(spans) < workers - 1:
-            spans.append((start, index + 1))
-            start = index + 1
-            accumulated = 0
-    if start < len(partitions):
-        spans.append((start, len(partitions)))
-    return spans
+__all__ = ["WindowOp", "WindowFuncSpec"]
 
 
 class WindowFuncSpec:
@@ -250,6 +193,7 @@ class WindowOp(PhysicalNode):
     # ------------------------------------------------------------------
 
     def scalar_rows(self) -> Iterator[tuple]:
+        self.parallel_workers = 0
         buffered = list(self.child.rows())
         if not self.presorted:
             self.sorted_rows = len(buffered)
@@ -260,14 +204,6 @@ class WindowOp(PhysicalNode):
                 buffered.sort(key=lambda row: tuple(
                     sort_key(key(row)) for key in self._partition_keys))
         partitions = list(self._partitions(buffered))
-        parallel_columns = self._evaluate_parallel(partitions)
-        if parallel_columns is not None:
-            for partition, computed in zip(partitions, parallel_columns):
-                for row_index, row in enumerate(partition):
-                    self.actual_rows += 1
-                    yield row + tuple(column[row_index]
-                                      for column in computed)
-            return
         for partition in partitions:
             computed = [self._evaluate(spec, partition)
                         for spec in self.functions]
@@ -317,6 +253,7 @@ class WindowOp(PhysicalNode):
         return spans
 
     def batches(self, size: int | None = None) -> Iterator[RowBatch]:
+        self.parallel_workers = 0
         size = _resolve_batch_size(size)
         buffered: list[tuple] = []
         for batch in self.child.batches(size):
@@ -366,23 +303,19 @@ class WindowOp(PhysicalNode):
         sorted_columns = big.columns
         spans = self._partition_spans(len(buffered), partition_columns)
         partitions = [buffered[start:end] for start, end in spans]
-        parallel_columns = self._evaluate_parallel(partitions)
         func_count = len(self.functions)
         out_columns: list[list] = [[] for _ in range(width_in + func_count)]
         pending = 0
         for span_index, (start, end) in enumerate(spans):
-            if parallel_columns is not None:
-                computed = parallel_columns[span_index]
-            else:
-                order_slice = self._normalized_order(order_columns,
-                                                     start, end)
-                computed = []
-                for index, spec in enumerate(self.functions):
-                    arguments = (None if argument_columns[index] is None
-                                 else argument_columns[index][start:end])
-                    computed.append(self._evaluate(
-                        spec, partitions[span_index],
-                        order_values=order_slice, arguments=arguments))
+            order_slice = self._normalized_order(order_columns,
+                                                 start, end)
+            computed = []
+            for index, spec in enumerate(self.functions):
+                arguments = (None if argument_columns[index] is None
+                             else argument_columns[index][start:end])
+                computed.append(self._evaluate(
+                    spec, partitions[span_index],
+                    order_values=order_slice, arguments=arguments))
             for position in range(width_in):
                 out_columns[position].extend(
                     sorted_columns[position][start:end])
@@ -399,44 +332,6 @@ class WindowOp(PhysicalNode):
             self.actual_rows += pending
             self.actual_batches += 1
             yield RowBatch(out_columns, pending)
-
-    def _parallel_workers(self, partitions: list[list[tuple]]) -> int:
-        if not self.parallel or len(partitions) < 2:
-            return 0
-        total = sum(len(partition) for partition in partitions)
-        if total < PARALLEL_ROW_THRESHOLD:
-            return 0
-        return min(configured_worker_count(), len(partitions))
-
-    def _evaluate_parallel(
-            self, partitions: list[list[tuple]],
-    ) -> list[list[list[Any]]] | None:
-        """Window columns per partition via a fork pool; None to stay
-        serial (gated off, too small, unsupported platform, or pool
-        failure)."""
-        global _FORK_STATE
-        self.parallel_workers = 0
-        workers = self._parallel_workers(partitions)
-        if workers < 2:
-            return None
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            return None
-        spans = _balanced_spans(partitions, workers)
-        _FORK_STATE = (self, partitions)
-        try:
-            with context.Pool(processes=len(spans)) as pool:
-                chunks = pool.map(_eval_chunk, spans, chunksize=1)
-        except Exception:
-            return None
-        finally:
-            _FORK_STATE = None
-        computed: list[list[list[Any]]] = []
-        for chunk in chunks:
-            computed.extend(chunk)
-        self.parallel_workers = len(spans)
-        return computed
 
     def _partitions(self, rows: list[tuple]) -> Iterator[list[tuple]]:
         if not rows:

@@ -64,6 +64,7 @@ class Table:
         position = len(self.rows)
         self.rows.append(row)
         self.version += 1
+        self._invalidate_columnar()
         for index in self.indexes.values():
             key_position = self.schema.position_of(index.column)
             index.insert(row[key_position], position)
@@ -81,9 +82,28 @@ class Table:
             loaded += 1
         if loaded:
             self.version += 1
+            self._invalidate_columnar()
         for index in self.indexes.values():
             self._rebuild_index(index)
         return loaded
+
+    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Atomically swap the table contents for *rows*.
+
+        One call performs the whole consistency dance — coerce, swap,
+        bump ``version``, rebuild every index, drop the columnar cache —
+        so callers iterating toward a fixpoint (or otherwise rewriting a
+        table in place) cannot end up with rows that disagree with the
+        indexes or with version-keyed caches. Returns the new row count.
+        """
+        coerce = self._coerce_row
+        new_rows = [coerce(values) for values in rows]
+        self.rows = new_rows
+        self.version += 1
+        self._invalidate_columnar()
+        for index in self.indexes.values():
+            self._rebuild_index(index)
+        return len(new_rows)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -124,11 +144,23 @@ class Table:
         """Yield all rows in insertion order."""
         return iter(self.rows)
 
+    def _invalidate_columnar(self) -> None:
+        """Drop the cached transpose the moment the rows change.
+
+        Mutators call this eagerly so a stale copy (one full duplicate
+        of the table) is never retained until the next ``columnar()``
+        call — under fixpoint/update workloads those copies used to
+        accumulate for the lifetime of each superseded version.
+        """
+        self._columns = None
+        self._columns_version = -1
+
     def columnar(self) -> list[list]:
         """The table contents as one list per column (insertion order).
 
         The transpose is cached and keyed on ``version``, so repeated
-        vectorized scans of an unchanged table pay for it once. Callers
+        vectorized scans of an unchanged table pay for it once; any
+        mutation evicts it eagerly (``_invalidate_columnar``). Callers
         must not mutate the returned lists (batch columns are shared,
         never written in place).
         """

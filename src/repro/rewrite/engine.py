@@ -222,10 +222,14 @@ class DeferredCleansingEngine:
             self, query: str | SelectStmt,
             strategies: set[str] | None = None,
     ) -> tuple[ResultSet, ExecutionMetrics, RewriteResult]:
+        spawns = self.database.pool_spawns
+        reuses = self.database.pool_reuses
         result = self.rewrite(query, strategies)
         plan = result.physical
         rows = materialize(plan)
         metrics = ExecutionMetrics.from_plan(plan)
+        metrics.pool_spawns = self.database.pool_spawns - spawns
+        metrics.pool_reuses = self.database.pool_reuses - reuses
         return (ResultSet([f.name for f in plan.schema], rows), metrics,
                 result)
 
@@ -269,6 +273,12 @@ class DeferredCleansingEngine:
         On a miss the expanded region is materialized once and then
         served the same way; None means the region did not fit the
         cache budget and the normal candidate race should run.
+
+        Materialization goes through ``Database.plan``, so when
+        ``REPRO_WORKERS`` enables sharding the cleansing pipeline that
+        fills the region runs shard-parallel on the persistent pool —
+        the cached rows are byte-identical either way (the exchange
+        merge is deterministic), so cache keys stay mode-independent.
         """
         cache = self.region_cache
         table = self.database.table(table_name)

@@ -70,13 +70,7 @@ def apply_to_fixpoint(database: Database, rules: list[CompiledRule],
             if current == previous:
                 converged = True
                 break
-            scratch.rows = list(current)
-            # Direct row replacement bypasses insert/bulk_load, so bump
-            # the version by hand: consumers keyed on it (prepared plans,
-            # the columnar scan cache) must see this as a new table state.
-            scratch.version += 1
-            for index in list(scratch.indexes.values()):
-                scratch._rebuild_index(index)
+            scratch.replace_rows(current)
             database.analyze(scratch_name)
             previous = current
         return FixpointResult(previous, columns, iterations, converged)

@@ -1,0 +1,40 @@
+"""Auto-generated fuzz regression (do not edit by hand).
+
+Found by: python -m repro.fuzz --seed 0 (iteration 3)
+Diverged: sharded
+Shrunk to 1 rows / 1 rules / 1 query conjuncts.
+
+Reproduce interactively:
+
+    from repro.fuzz.oracle import run_case
+    import test_shrunk_seed0_iter3 as m
+    print(run_case(m._case()).summary())
+"""
+
+from repro.fuzz.cases import DimensionSpec, FuzzCase, QuerySpec
+from repro.fuzz.oracle import run_case
+
+READS_ROWS = [
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000003', 978326722, 'reader_0000_002', '0000000000020', 'step_001'),
+]
+
+RULES = [
+    "DEFINE fuzz_rule_0 ON caser CLUSTER BY epc SEQUENCE BY rtime\nAS (A, B, C)\nWHERE a.biz_loc = b.biz_loc AND c.rtime - b.rtime < 600 AND a.biz_loc = '0000030000020'\nACTION MODIFY B.biz_loc = '0000040000010'",
+]
+
+QUERY = QuerySpec(
+    conjuncts=["c.epc = 'urn:epc:id:sgtin:c.0000000000000000000000000000000'"],
+    dimensions=[
+    ],
+)
+
+
+def _case() -> FuzzCase:
+    return FuzzCase(seed=0, iteration=3,
+                    reads_rows=list(READS_ROWS), rules=list(RULES),
+                    query=QUERY)
+
+
+def test_shrunk_seed0_iter3() -> None:
+    report = run_case(_case())
+    assert report.ok, report.summary()

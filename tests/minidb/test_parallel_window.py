@@ -1,16 +1,14 @@
-"""Parallel per-partition window evaluation must be invisible.
+"""Shard-parallel execution must be invisible.
 
-The fork-pool path splits partitions into contiguous spans and
-evaluates each span in a worker; results must be byte-identical to the
-serial path, and the path must degrade gracefully (small inputs, one
-partition, REPRO_PARALLEL=0, or platforms without fork).
+The persistent worker pool partitions eligible plan segments across the
+base scan and merges shard outputs in deterministic order; results must
+be byte-identical to the serial path, and the path must degrade
+gracefully (small inputs, REPRO_WORKERS unset / 0 / junk).
 """
 
 from repro.minidb import Database, PlannerOptions, SqlType, TableSchema
-from repro.minidb.plan.window import (
-    PARALLEL_ROW_THRESHOLD,
-    configured_worker_count,
-)
+from repro.minidb.parallel import configured_worker_count
+from repro.minidb.plan import shard
 
 SCHEMA = TableSchema.of(("g", SqlType.VARCHAR),
                         ("t", SqlType.TIMESTAMP),
@@ -24,9 +22,11 @@ WINDOW_SQL = """
                rows between 1 preceding and 1 preceding) as prev
     from w"""
 
+FILTER_SQL = "select g, t, v from w where v >= 40"
 
-def make_db(rows, parallel):
-    db = Database(options=PlannerOptions(parallel_windows=parallel))
+
+def make_db(rows):
+    db = Database(options=PlannerOptions(parallel_windows=True))
     db.create_table("w", SCHEMA)
     db.load("w", rows)
     return db
@@ -37,36 +37,69 @@ def big_rows(partitions=40, per_partition=200):
             for p in range(partitions) for t in range(per_partition)]
 
 
-def test_parallel_matches_serial_above_threshold(monkeypatch):
+def run(rows, sql, monkeypatch, workers, threshold=None):
     monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    if workers is None:
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    if threshold is not None:
+        monkeypatch.setattr(shard, "SHARD_ROW_THRESHOLD", threshold)
+    db = make_db(rows)
+    try:
+        return db.execute(sql)
+    finally:
+        db.close()
+
+
+def test_sharded_window_matches_serial(monkeypatch):
     rows = big_rows()
-    assert len(rows) >= PARALLEL_ROW_THRESHOLD
-    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
-    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
-    assert parallel.rows == serial.rows
+    serial = run(rows, WINDOW_SQL, monkeypatch, workers=None)
+    sharded = run(rows, WINDOW_SQL, monkeypatch, workers=2, threshold=64)
+    assert sharded.rows == serial.rows
+
+
+def test_sharded_filter_matches_serial(monkeypatch):
+    rows = big_rows()
+    serial = run(rows, FILTER_SQL, monkeypatch, workers=None)
+    sharded = run(rows, FILTER_SQL, monkeypatch, workers=2, threshold=64)
+    assert sharded.rows == serial.rows
 
 
 def test_small_input_stays_serial(monkeypatch):
-    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
     rows = big_rows(partitions=4, per_partition=10)
-    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
-    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
-    assert parallel.rows == serial.rows
+    assert len(rows) < shard.SHARD_ROW_THRESHOLD
+    serial = run(rows, WINDOW_SQL, monkeypatch, workers=None)
+    sharded = run(rows, WINDOW_SQL, monkeypatch, workers=2)
+    assert sharded.rows == serial.rows
 
 
 def test_env_zero_disables_workers(monkeypatch):
-    monkeypatch.setenv("REPRO_PARALLEL", "0")
-    assert configured_worker_count() == 0
     rows = big_rows(partitions=8, per_partition=20)
-    serial = make_db(rows, parallel=False).execute(WINDOW_SQL)
-    parallel = make_db(rows, parallel=True).execute(WINDOW_SQL)
-    assert parallel.rows == serial.rows
+    serial = run(rows, WINDOW_SQL, monkeypatch, workers=None)
+    disabled = run(rows, WINDOW_SQL, monkeypatch, workers=0, threshold=1)
+    assert disabled.rows == serial.rows
 
 
-def test_env_overrides_worker_count(monkeypatch):
-    monkeypatch.setenv("REPRO_PARALLEL", "3")
+def test_worker_count_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    monkeypatch.setenv("REPRO_WORKERS", "3")
     assert configured_worker_count() == 3
-    monkeypatch.setenv("REPRO_PARALLEL", "not-a-number")
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
     assert configured_worker_count() == 0
-    monkeypatch.delenv("REPRO_PARALLEL")
-    assert configured_worker_count() >= 1
+    monkeypatch.setenv("REPRO_WORKERS", "-2")
+    assert configured_worker_count() == 0
+    monkeypatch.delenv("REPRO_WORKERS")
+    # Opt-in: unset means serial, unlike the retired fork-per-query pool.
+    assert configured_worker_count() == 0
+
+
+def test_deprecated_alias_and_priority(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.setenv("REPRO_PARALLEL", "2")
+    assert configured_worker_count() == 2
+    # REPRO_WORKERS wins over the alias whenever it is set at all.
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert configured_worker_count() == 4
+    monkeypatch.setenv("REPRO_WORKERS", "junk")
+    assert configured_worker_count() == 0

@@ -107,3 +107,63 @@ class TestCatalog:
         catalog.create_table("zz", SCHEMA)
         catalog.create_table("aa", SCHEMA)
         assert catalog.table_names() == ["aa", "zz"]
+
+
+class TestReplaceRows:
+    def test_swaps_rows_and_returns_count(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1), ("e2", 2), ("e3", 3)])
+        assert table.replace_rows([("e9", 9)]) == 1
+        assert table.rows == [("e9", 9)]
+
+    def test_bumps_version_once(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1)])
+        before = table.version
+        table.replace_rows([("e2", 2), ("e3", 3)])
+        assert table.version == before + 1
+
+    def test_rebuilds_indexes(self):
+        table = Table("r", SCHEMA)
+        table.create_index("rtime")
+        table.bulk_load([("e1", 7), ("e2", 3)])
+        table.replace_rows([("e3", 5), ("e4", 1)])
+        from repro.minidb.index import IndexRange
+        index = table.index_on("rtime")
+        assert list(index.scan(IndexRange())) == [1, 0]
+
+    def test_coerces_and_validates(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1)])
+        with pytest.raises(SchemaError):
+            table.replace_rows([("only-one",)])
+        # The failed swap must leave the old contents intact.
+        assert table.rows == [("e1", 1)]
+
+
+class TestColumnarCache:
+    def test_cache_reused_while_unchanged(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1), ("e2", 2)])
+        first = table.columnar()
+        assert table.columnar() is first
+        assert first == [["e1", "e2"], [1, 2]]
+
+    def test_insert_evicts_eagerly(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1)])
+        table.columnar()
+        table.insert(("e2", 2))
+        assert table._columns is None  # dropped at mutation, not at reread
+        assert table.columnar() == [["e1", "e2"], [1, 2]]
+
+    def test_bulk_load_and_replace_evict(self):
+        table = Table("r", SCHEMA)
+        table.bulk_load([("e1", 1)])
+        table.columnar()
+        table.bulk_load([("e2", 2)])
+        assert table._columns is None
+        table.columnar()
+        table.replace_rows([("e3", 3)])
+        assert table._columns is None
+        assert table.columnar() == [["e3"], [3]]
