@@ -6,8 +6,8 @@ it for better-separated curves. Workbenches are session-cached through
 the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
 
 Every benchmark run also appends machine-readable results to
-``BENCH_PR4.json`` at the repo root (the per-PR successor to PR 3's
-``BENCH_PR3.json``): one wall-clock record per test, plus any
+``BENCH_PR5.json`` at the repo root (the per-PR successor to PR 4's
+``BENCH_PR4.json``): one wall-clock record per test, plus any
 :class:`ExecutionMetrics` rows a test explicitly records via the
 ``record_metrics`` fixture. The file tracks the perf trajectory across
 PRs without having to parse pytest-benchmark output.
@@ -30,7 +30,7 @@ from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
 
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 #: Smoke mode: run everything once, assert correctness, skip timing bars.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
@@ -38,7 +38,7 @@ BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
 
 @pytest.fixture(scope="session")
 def bench_records():
-    """Accumulates result rows; written to BENCH_PR4.json at session end."""
+    """Accumulates result rows; written to BENCH_PR5.json at session end."""
     records = []
     yield records
     payload = {"bench_scale": BENCH_SCALE, "records": records}

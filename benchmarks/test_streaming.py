@@ -1,0 +1,150 @@
+"""PR 5 acceptance benchmark: streaming appends patch warm regions.
+
+A dashboard re-issues a panel of aggregate queries every refresh tick
+while a trickle of new reads arrives through ``Database.append``
+between ticks. With the region cache on, each append dirties only the
+few sequences it touched; the first panel query after an append
+re-cleanses just those sequences and splices them into the cached
+region, and the rest of the panel are pure region-cache hits
+("warm-patched"). The uncached engine pays the full two-rule
+sort+window cleanse for every panel query ("cold"). Steady-state
+warm-patched must be at least 3x faster than cold, with row-identical
+results, and the ``sequences_recleaned`` metric must prove only dirty
+sequences were re-cleansed.
+
+The stream is carved out of the generated dataset itself: all reads of
+a handful of case EPCs are withheld from the initial load and then
+appended in rtime order, so every appended row is a plausible late
+arrival (≤1% of rows per chunk, ≤5% of sequences dirty).
+"""
+
+import dataclasses
+import time
+
+import pytest
+from conftest import BENCH_SMOKE, settings
+
+from repro.datagen.loader import load_into_database
+from repro.experiments.common import workbench_for
+from repro.rewrite.cache import CacheOptions
+from repro.rewrite.engine import DeferredCleansingEngine
+from repro.workloads import timestamp_for_fraction_below
+from repro.workloads.rules import make_registry
+
+QUERY = ("select reader, count(*) as n, avg(rtime) as mean_rtime "
+         "from caser where rtime <= {t} group by reader")
+
+#: One refresh tick: the widest window first (it owns the cached
+#: region), then narrower panels whose windows it subsumes.
+PANEL = [0.85, 0.35, 0.55, 0.70]
+
+#: Distinct case EPCs whose reads arrive late, and in how many chunks.
+STREAM_EPCS = 6
+STREAM_CHUNKS = 5
+
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    """A fresh database loaded without the streamed EPCs' reads.
+
+    Built from the cached workbench's *data* (generation amortized
+    across the suite) but loaded into its own database so the appends
+    cannot leak into session-cached workbenches.
+    """
+    base = workbench_for(settings(10.0), rule_names=("reader", "duplicate"))
+    data = base.data
+
+    epcs = list(dict.fromkeys(row[0] for row in data.case_reads))
+    stream_epcs = set(epcs[:: max(1, len(epcs) // STREAM_EPCS)][:STREAM_EPCS])
+    held = sorted((row for row in data.case_reads
+                   if row[0] in stream_epcs), key=lambda row: row[1])
+    prefix = [row for row in data.case_reads if row[0] not in stream_epcs]
+    assert held and prefix
+
+    db = load_into_database(dataclasses.replace(data, case_reads=prefix))
+    registry = make_registry(None, data, ("reader", "duplicate"))
+
+    per_chunk = max(1, (len(held) + STREAM_CHUNKS - 1) // STREAM_CHUNKS)
+    chunks = [held[i:i + per_chunk]
+              for i in range(0, len(held), per_chunk)]
+
+    # The ISSUE's "small append" envelope: each chunk is ≤1% of the
+    # table and dirties ≤5% of the cluster-key sequences.
+    assert all(len(chunk) <= max(1, len(prefix) // 100)
+               for chunk in chunks)
+    assert len(stream_epcs) <= max(1, len(epcs) // 20)
+
+    rtimes = [row[1] for row in data.case_reads]
+    queries = [QUERY.format(t=timestamp_for_fraction_below(rtimes, sel))
+               for sel in PANEL]
+    try:
+        yield db, registry, chunks, queries
+    finally:
+        db.close()
+
+
+def test_streaming_appends_warm_patched_vs_cold(stream_setup,
+                                                record_metrics):
+    db, registry, chunks, queries = stream_setup
+
+    cached = DeferredCleansingEngine(db, registry, cache=CacheOptions())
+    uncached = DeferredCleansingEngine(db, registry)
+
+    # Tick 0 pays the one-time region materialization (not gated).
+    cached.execute(queries[0])
+
+    warm_elapsed = cold_elapsed = 0.0
+    recleaned_total = 0
+    for chunk in chunks:
+        db.append("caser", chunk)
+        dirty = len({row[0] for row in chunk})
+
+        start = time.perf_counter()
+        first_result, metrics, _ = cached.execute_with_metrics(queries[0])
+        warm_rows = [first_result.rows] + [
+            cached.execute(sql).rows for sql in queries[1:]]
+        warm_elapsed += time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold_rows = [uncached.execute(sql).rows for sql in queries]
+        cold_elapsed += time.perf_counter() - start
+
+        for warm, cold in zip(warm_rows, cold_rows):
+            assert sorted(warm) == sorted(cold), \
+                "patched region must answer identically to a full cleanse"
+        # Only the first panel query re-cleansed anything, and only the
+        # sequences this chunk touched.
+        assert metrics.cache_patches == 1
+        assert metrics.delta_epochs_applied >= 1
+        assert 0 < metrics.sequences_recleaned <= dirty
+        recleaned_total += metrics.sequences_recleaned
+
+    cache = cached.region_cache
+    assert cache is not None
+    assert cache.stores == 1, "the region must never be re-materialized"
+    assert cache.patches == len(chunks)
+    assert cache.invalidations == 0
+    assert cache.hits == len(chunks) * len(queries)
+
+    speedup = cold_elapsed / warm_elapsed
+    record_metrics(
+        "streaming-appends", None,
+        chunks=len(chunks),
+        panel_queries=len(queries),
+        appended_rows=sum(len(chunk) for chunk in chunks),
+        sequences_recleaned=recleaned_total,
+        warm_patched_s=round(warm_elapsed, 6),
+        cold_s=round(cold_elapsed, 6),
+        speedup=round(speedup, 3),
+        region_cache={"hits": cache.hits, "misses": cache.misses,
+                      "stores": cache.stores, "patches": cache.patches,
+                      "invalidations": cache.invalidations},
+    )
+    if BENCH_SMOKE:
+        return
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm-patched must be >={MIN_SPEEDUP}x faster than cold "
+        f"(got {speedup:.2f}x: warm {warm_elapsed:.3f}s, "
+        f"cold {cold_elapsed:.3f}s)")

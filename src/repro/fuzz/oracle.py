@@ -29,6 +29,12 @@ path and diffs canonicalized row bags against the naive strategy
 ``sharded``               naive re-run with the shard pool (2 workers)
                           *and* batch size 7 together; metrics must
                           show at least one Exchange dispatched
+``incremental``           load a prefix, warm the region cache, then
+                          interleave ``Database.append`` chunks with
+                          queries: after every append the cached
+                          engine (patching or invalidating as it sees
+                          fit) must agree with a fresh naive run over
+                          the same table state
 ========================  =============================================
 
 The baseline itself is computed with batch execution disabled
@@ -67,7 +73,7 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 #: Every comparison the oracle can run, in execution order.
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
-              "parallel", "vectorized", "sharded")
+              "parallel", "vectorized", "sharded", "incremental")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -120,11 +126,18 @@ class OracleReport:
         return f"{self.case.describe()}: DIVERGED — {parts}"
 
 
-def build_database(case: FuzzCase) -> tuple[Database, RuleRegistry]:
-    """A fresh database + registry holding exactly the case's data."""
+def build_database(case: FuzzCase,
+                   reads_rows: Sequence[tuple] | None = None,
+                   ) -> tuple[Database, RuleRegistry]:
+    """A fresh database + registry holding exactly the case's data.
+
+    *reads_rows* overrides the reads-table contents (the ``incremental``
+    label loads a prefix and streams the rest in via appends).
+    """
     db = Database()
     db.create_table("caser", _READS_SCHEMA)
-    db.load("caser", case.reads_rows)
+    db.load("caser",
+            case.reads_rows if reads_rows is None else reads_rows)
     for column in ("epc", "rtime", "biz_loc", "biz_step"):
         db.create_index("caser", column)
     seen: set[str] = set()
@@ -345,4 +358,42 @@ def run_case(case: FuzzCase,
         return result.canonical()
 
     compare("sharded", sharded)
+
+    def incremental() -> tuple[tuple, ...]:
+        # Streaming replay: load a prefix, warm the region cache, then
+        # feed the remaining rows through Database.append in two chunks,
+        # re-querying after each. The cached engine is free to patch or
+        # invalidate; either way every intermediate answer must match a
+        # fresh naive run over the SAME table state (same object — the
+        # appended rows sit at the end, so a rebuilt full-load database
+        # would not be tie-order comparable). The final state holds
+        # exactly the case's rows, so the last answer is also diffed
+        # against the global baseline by compare().
+        rows = list(case.reads_rows)
+        if not rows:
+            raise RewriteError("empty dataset; nothing to stream")
+        split = max(1, (2 * len(rows)) // 3)
+        inc_db, inc_registry = build_database(case,
+                                              reads_rows=rows[:split])
+        inc_engine = DeferredCleansingEngine(inc_db, inc_registry,
+                                             cache=CacheOptions())
+        fresh = DeferredCleansingEngine(inc_db, inc_registry)
+        got = inc_engine.execute(sql).canonical()
+        remainder = rows[split:]
+        mid = (len(remainder) + 1) // 2
+        for chunk in (remainder[:mid], remainder[mid:]):
+            if not chunk:
+                continue
+            inc_db.append("caser", chunk)
+            got = inc_engine.execute(sql).canonical()
+            expected = fresh.execute(sql, strategies={"naive"}).canonical()
+            if got != expected:
+                missing, unexpected = _diff(expected, got)
+                raise AssertionError(
+                    "incremental answer diverged mid-stream: "
+                    f"{len(missing)} missing, {len(unexpected)} "
+                    "unexpected rows vs naive over the same state")
+        return got
+
+    compare("incremental", incremental)
     return report

@@ -89,6 +89,14 @@ class ExecutionMetrics:
     #: warm pool shows spawns=0.
     pool_spawns: int = 0
     pool_reuses: int = 0
+    #: Incremental-cleansing counters for the call that produced these
+    #: metrics (filled in by the rewrite engine's
+    #: ``execute_with_metrics``): delta epochs consumed from table delta
+    #: logs, cluster-key sequences re-cleansed by region-cache patches,
+    #: and region-cache entries patched in place instead of discarded.
+    delta_epochs_applied: int = 0
+    sequences_recleaned: int = 0
+    cache_patches: int = 0
 
     @property
     def selection_density(self) -> float | None:
@@ -286,6 +294,35 @@ class Database:
         self.stats.analyze(table)
         return loaded
 
+    def append(self, name: str,
+               rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Streaming ingest: append rows, patching warm state in place.
+
+        The incremental counterpart to :meth:`load`: rows land as one
+        delta epoch (``Table.append_rows``), indexes are merged rather
+        than rebuilt, the columnar cache extends lazily, and statistics
+        are patched in place when a fresh analysis exists — keeping
+        prepared plans and (via the delta log) materialized cleansing
+        regions warm. Falls back to a full analyze when the cached stats
+        were already stale. Returns the number of rows appended.
+        """
+        table = self.catalog.table(name)
+        buffered = list(rows)
+        if buffered and isinstance(buffered[0], Mapping):
+            names = table.schema.names
+            buffered = [[row.get(column) for column in names]
+                        for row in buffered]
+        if not buffered:
+            return 0
+        # get() both answers freshness and evicts a stale entry, so a
+        # later apply_append can never patch on top of pre-append drift.
+        stats_fresh = self.stats.get(table.name) is not None
+        start = len(table.rows)
+        appended = table.append_rows(buffered)
+        if not (stats_fresh and self.stats.apply_append(table, start)):
+            self.stats.analyze(table)
+        return appended
+
     def create_index(self, table_name: str, column: str,
                      name: str | None = None) -> None:
         self.catalog.table(table_name).create_index(column, name)
@@ -318,9 +355,17 @@ class Database:
         The worker count and shard threshold participate because the
         shard pass changes the plan *shape* with them: a plan cached
         under one setting must not be replayed under another.
+
+        Table *data* epochs deliberately do not participate: physical
+        plans read table rows live at execution time (Exchange morsels
+        are built at dispatch), so an append never makes a plan wrong —
+        only stale statistics can, and those are covered by the stats
+        version (``StatsRepository.apply_append`` keeps it unchanged for
+        trickle appends precisely so prepared plans stay warm). Schema
+        epochs still participate: a new index should trigger replanning.
         """
         return (self.catalog.version, self.stats.version,
-                tuple(table.version for table in self.catalog),
+                tuple(table.schema_epoch for table in self.catalog),
                 tuple(sorted(vars(options).items())),
                 parallel.configured_worker_count(),
                 shard.SHARD_ROW_THRESHOLD)

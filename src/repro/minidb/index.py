@@ -78,6 +78,42 @@ class SortedIndex:
         self._keys.insert(slot, key)
         self._positions.insert(slot, position)
 
+    def insert_many(self, keyed_positions: Iterable[tuple[Any, int]]) -> None:
+        """Merge a batch of entries, keeping the index sorted.
+
+        Equivalent to calling :meth:`insert` per pair (new entries land
+        after existing equal keys, and after earlier-batch equal keys),
+        but via a single linear merge instead of k O(n) list inserts —
+        the append path for streaming ingest, where rebuilding the whole
+        index per trickle would dominate.
+        """
+        fresh = sorted(
+            (pair for pair in keyed_positions if pair[0] is not None),
+            key=lambda pair: pair[0])
+        if not fresh:
+            return
+        if not self._keys:
+            self._keys = [key for key, _ in fresh]
+            self._positions = [position for _, position in fresh]
+            return
+        old_keys, old_positions = self._keys, self._positions
+        merged_keys: list[Any] = []
+        merged_positions: list[int] = []
+        cursor = 0
+        for key, position in fresh:
+            # bisect_right semantics: existing entries with key <= new
+            # key stay ahead of the new entry.
+            stop = bisect.bisect_right(old_keys, key, cursor)
+            merged_keys.extend(old_keys[cursor:stop])
+            merged_positions.extend(old_positions[cursor:stop])
+            merged_keys.append(key)
+            merged_positions.append(position)
+            cursor = stop
+        merged_keys.extend(old_keys[cursor:])
+        merged_positions.extend(old_positions[cursor:])
+        self._keys = merged_keys
+        self._positions = merged_positions
+
     def _bounds(self, key_range: IndexRange) -> tuple[int, int]:
         if key_range.low is None:
             start = 0

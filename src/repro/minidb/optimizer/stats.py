@@ -184,6 +184,8 @@ class StatsRepository:
         #: name -> (stats, source table or None, table version at analyze).
         self._stats: dict[str, tuple[TableStats, Table | None, int]] = {}
         self.version = 0
+        #: Number of in-place append patches applied (observability).
+        self.patches = 0
 
     def set(self, table_name: str, stats: TableStats) -> None:
         """Install externally computed stats (never treated as stale)."""
@@ -205,6 +207,78 @@ class StatsRepository:
         self._stats[table.name] = (stats, table, table.version)
         self.version += 1
         return stats
+
+    def apply_append(self, table: Table, start: int) -> bool:
+        """Patch cached stats in place for rows appended at *start*.
+
+        Row count, null counts, and min/max are updated exactly; ndv
+        becomes a lower-bound estimate (old ndv plus appended values that
+        provably fall outside the old [min, max]); histograms and span
+        fractions are left as-is — for a trickle append they remain
+        representative, and the next full :meth:`analyze` refreshes them.
+
+        Crucially this does NOT bump ``self.version``: the patched stats
+        are re-stamped with the table's current version, so prepared
+        plans keyed on the stats epoch stay warm across small appends.
+        Returns False when there is no fresh source-tracked entry to
+        patch (caller should fall back to a full analyze).
+        """
+        entry = self._stats.get(table.name)
+        if entry is None:
+            return False
+        stats, source, _seen_version = entry
+        if source is not table:
+            return False
+        appended = table.rows[start:]
+        stats.row_count = len(table.rows)
+        for column in table.schema:
+            column_stats = stats.columns.get(column.name)
+            if column_stats is None:
+                return False
+            position = table.schema.position_of(column.name)
+            outside = set()
+            for row in appended:
+                value = row[position]
+                if value is None:
+                    column_stats.null_count += 1
+                    continue
+                old_min = column_stats.min_value
+                old_max = column_stats.max_value
+                if old_min is None or value < old_min or value > old_max:
+                    outside.add(value)
+                if old_min is None or value < old_min:
+                    column_stats.min_value = value
+                if old_max is None or value > old_max:
+                    column_stats.max_value = value
+            column_stats.ndv += len(outside)
+        self._stats[table.name] = (stats, table, table.version)
+        self.patches += 1
+        return True
+
+    def rebase(self, table: Table) -> bool:
+        """Re-stamp a source-tracked entry after an in-place rewrite.
+
+        For splice-style rewrites — the region cache re-cleansing a few
+        cluster-key runs and swapping them into place — the value
+        distribution is essentially unchanged, so a full re-analyze on
+        the next plan would be wasted work. Only the row count is
+        corrected; every other statistic is kept as a planner-grade
+        approximation until the next full :meth:`analyze`. Like
+        :meth:`apply_append` this does NOT bump ``self.version``, so
+        prepared plans over the table stay warm. Returns False when
+        there is no source-tracked entry for *table* (caller decides
+        whether to fall back to a full analyze).
+        """
+        entry = self._stats.get(table.name)
+        if entry is None:
+            return False
+        stats, source, _seen_version = entry
+        if source is not table:
+            return False
+        stats.row_count = len(table.rows)
+        self._stats[table.name] = (stats, table, table.version)
+        self.patches += 1
+        return True
 
     def invalidate(self, table_name: str) -> None:
         if self._stats.pop(table_name.lower(), None) is not None:

@@ -17,15 +17,30 @@ from repro.minidb.types import coerce_value
 
 __all__ = ["Table"]
 
+# Bounded delta history: once more appends than this have happened since
+# the oldest un-truncated epoch, the log's floor rises and older readers
+# fall back to full invalidation. 256 epochs comfortably covers any
+# realistic trickle between two queries while bounding memory to a few KB.
+_DELTA_LOG_LIMIT = 256
+
 
 class Table:
     """A named, schema-validated collection of row tuples.
 
-    ``version`` is a monotonically increasing counter bumped by every
-    mutating operation (insert, bulk load, index creation). Consumers
-    that memoize anything derived from the table's contents — statistics,
-    prepared plans, materialized cleansing regions — record the version
-    they saw and treat a mismatch as staleness.
+    Staleness is tracked by two monotone epoch counters instead of one
+    opaque version:
+
+    * ``schema_epoch`` — bumped by structural changes (index creation).
+    * ``data_epoch``   — bumped by every row mutation (insert, bulk load,
+      append, replace).
+
+    ``version`` (their sum) preserves the original contract: consumers
+    that memoize anything derived from the table — statistics, prepared
+    plans, materialized cleansing regions — record the version they saw
+    and treat a mismatch as staleness. Append-aware consumers can do
+    better: each append-only mutation is recorded in a bounded delta log,
+    and :meth:`delta_since` tells them exactly which row ranges arrived
+    after the epoch they captured, so they can patch instead of rebuild.
     """
 
     def __init__(self, name: str, schema: TableSchema) -> None:
@@ -33,15 +48,69 @@ class Table:
         self.schema = schema
         self.rows: list[tuple] = []
         self.indexes: dict[str, SortedIndex] = {}
-        self.version = 0
+        self.schema_epoch = 0
+        self.data_epoch = 0
+        # Delta log: (data_epoch, start, count) per append-only mutation.
+        # _delta_floor is the oldest epoch delta_since() can still answer
+        # for; anything older must be treated as a full rewrite.
+        self._delta_log: list[tuple[int, int, int]] = []
+        self._delta_floor = 0
         self._columns: list[list] | None = None
-        self._columns_version = -1
+        self._columns_rows = 0
+
+    @property
+    def version(self) -> int:
+        """Combined staleness counter (schema + data epochs).
+
+        Strictly monotone because both addends are; kept as a property so
+        every pre-delta consumer keeps working unchanged.
+        """
+        return self.schema_epoch + self.data_epoch
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # Delta log
+    # ------------------------------------------------------------------
+
+    def _log_append(self, start: int, count: int) -> None:
+        self.data_epoch += 1
+        self._delta_log.append((self.data_epoch, start, count))
+        if len(self._delta_log) > _DELTA_LOG_LIMIT:
+            dropped_epoch, _, _ = self._delta_log.pop(0)
+            self._delta_floor = dropped_epoch
+
+    def _rebase_deltas(self) -> None:
+        """Forget append history after a non-append rewrite.
+
+        ``replace_rows`` invalidates every row position, so pre-existing
+        delta ranges are meaningless; only epochs captured from this
+        point on can be patched.
+        """
+        self.data_epoch += 1
+        self._delta_log.clear()
+        self._delta_floor = self.data_epoch
+
+    def delta_since(self, data_epoch: int) -> list[tuple[int, int]] | None:
+        """Row ranges appended after *data_epoch*, or None if unknowable.
+
+        Returns ``[]`` when the caller is already current, a list of
+        ``(start, count)`` ranges (epoch order) when every intervening
+        mutation was an append, and ``None`` when history has been
+        truncated or rewritten — the caller must fall back to a full
+        rebuild in that case.
+        """
+        if data_epoch >= self.data_epoch:
+            return []
+        if data_epoch < self._delta_floor:
+            return None
+        return [(start, count)
+                for epoch, start, count in self._delta_log
+                if epoch > data_epoch]
 
     # ------------------------------------------------------------------
     # Loading
@@ -63,11 +132,33 @@ class Table:
         row = self._coerce_row(values)
         position = len(self.rows)
         self.rows.append(row)
-        self.version += 1
-        self._invalidate_columnar()
+        self._log_append(position, 1)
         for index in self.indexes.values():
             key_position = self.schema.position_of(index.column)
             index.insert(row[key_position], position)
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows as one delta epoch; indexes patched in place.
+
+        The streaming ingestion primitive: unlike :meth:`bulk_load` it
+        never rebuilds indexes (entries for the new rows are merged in),
+        and the whole batch lands as a single entry in the delta log so
+        append-aware caches can re-derive exactly what changed. Returns
+        the number of rows appended.
+        """
+        coerce = self._coerce_row
+        fresh = [coerce(values) for values in rows]
+        if not fresh:
+            return 0
+        start = len(self.rows)
+        self.rows.extend(fresh)
+        self._log_append(start, len(fresh))
+        for index in self.indexes.values():
+            key_position = self.schema.position_of(index.column)
+            index.insert_many(
+                (row[key_position], start + offset)
+                for offset, row in enumerate(fresh))
+        return len(fresh)
 
     def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
         """Append many rows; indexes are rebuilt once at the end.
@@ -75,31 +166,41 @@ class Table:
         Returns the number of rows loaded.
         """
         loaded = 0
+        start = len(self.rows)
         append = self.rows.append
         coerce = self._coerce_row
         for values in rows:
             append(coerce(values))
             loaded += 1
         if loaded:
-            self.version += 1
-            self._invalidate_columnar()
+            self._log_append(start, loaded)
         for index in self.indexes.values():
             self._rebuild_index(index)
         return loaded
 
-    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+    def replace_rows(self, rows: Iterable[Sequence[Any]], *,
+                     coerced: bool = False) -> int:
         """Atomically swap the table contents for *rows*.
 
         One call performs the whole consistency dance — coerce, swap,
-        bump ``version``, rebuild every index, drop the columnar cache —
-        so callers iterating toward a fixpoint (or otherwise rewriting a
-        table in place) cannot end up with rows that disagree with the
-        indexes or with version-keyed caches. Returns the new row count.
+        bump the data epoch, rebuild every index, drop the columnar cache
+        and rebase the delta log — so callers iterating toward a fixpoint
+        (or otherwise rewriting a table in place) cannot end up with rows
+        that disagree with the indexes or with version-keyed caches.
+        Returns the new row count.
+
+        ``coerced=True`` skips per-value coercion: the caller asserts
+        every row is already a schema-coerced tuple (it was read from
+        this table or materialized by a plan over coerced tables). The
+        fast path for splice-style rewrites that shuffle existing rows.
         """
-        coerce = self._coerce_row
-        new_rows = [coerce(values) for values in rows]
+        if coerced:
+            new_rows = rows if isinstance(rows, list) else list(rows)
+        else:
+            coerce = self._coerce_row
+            new_rows = [coerce(values) for values in rows]
         self.rows = new_rows
-        self.version += 1
+        self._rebase_deltas()
         self._invalidate_columnar()
         for index in self.indexes.values():
             self._rebuild_index(index)
@@ -119,7 +220,7 @@ class Table:
         index = SortedIndex(index_name, column)
         self._rebuild_index(index)
         self.indexes[index_name] = index
-        self.version += 1
+        self.schema_epoch += 1
         return index
 
     def _rebuild_index(self, index: SortedIndex) -> None:
@@ -145,31 +246,37 @@ class Table:
         return iter(self.rows)
 
     def _invalidate_columnar(self) -> None:
-        """Drop the cached transpose the moment the rows change.
+        """Drop the cached transpose after a non-append rewrite.
 
-        Mutators call this eagerly so a stale copy (one full duplicate
-        of the table) is never retained until the next ``columnar()``
-        call — under fixpoint/update workloads those copies used to
-        accumulate for the lifetime of each superseded version.
+        ``replace_rows`` calls this eagerly so a stale copy (one full
+        duplicate of the table) is never retained until the next
+        ``columnar()`` call — under fixpoint/update workloads those
+        copies used to accumulate for the lifetime of each superseded
+        version. Appends do NOT invalidate: the cache records how many
+        rows it has transposed and extends itself lazily.
         """
         self._columns = None
-        self._columns_version = -1
+        self._columns_rows = 0
 
     def columnar(self) -> list[list]:
         """The table contents as one list per column (insertion order).
 
-        The transpose is cached and keyed on ``version``, so repeated
-        vectorized scans of an unchanged table pay for it once; any
-        mutation evicts it eagerly (``_invalidate_columnar``). Callers
-        must not mutate the returned lists (batch columns are shared,
-        never written in place).
+        The transpose is cached; appends extend it in place (only the
+        tail rows are transposed), and only full rewrites
+        (``replace_rows``) evict it. Callers must not mutate the returned
+        lists (batch columns are shared, never written in place).
         """
-        if self._columns is None or self._columns_version != self.version:
+        if self._columns is None:
             if self.rows:
                 self._columns = [list(column) for column in zip(*self.rows)]
             else:
                 self._columns = [[] for _ in self.schema]
-            self._columns_version = self.version
+            self._columns_rows = len(self.rows)
+        elif self._columns_rows < len(self.rows):
+            tail = self.rows[self._columns_rows:]
+            for position, column in enumerate(self._columns):
+                column.extend(row[position] for row in tail)
+            self._columns_rows = len(self.rows)
         return self._columns
 
     def column_values(self, name: str) -> Iterator[Any]:

@@ -33,19 +33,25 @@ handling (a goal OR needs one entailed disjunct; a fact OR is
 case-split, every branch must entail the goal).
 
 Entries are keyed on the ordered rule list and the source table (object
-identity + version counter); a version bump — any insert or load — makes
-the entry stale, and stale entries are dropped on the next lookup.
+identity + version counter). A version bump used to drop the entry
+unconditionally; with the table delta log, an entry whose source only
+*appended* rows since materialization is instead **patched**: the dirty
+cluster-key values (those appearing in appended rows) are re-cleansed
+through the caller-supplied ``patcher`` and spliced over the stale
+sequences, which is sound because Φ_C windows never cross cluster-key
+partitions — untouched sequences cleanse to exactly their cached rows.
 Materialized regions live as catalog temp tables under a byte budget
 with LRU eviction.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import sys
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.analysis.linear import LinearForm, normalize_comparison
 from repro.errors import CatalogError
@@ -53,10 +59,15 @@ from repro.minidb.engine import Database
 from repro.minidb.expressions import BinaryOp, Expr, Literal
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.table import Table
+from repro.minidb.types import sort_key
 from repro.rewrite.transitivity import DifferenceClosure, ZERO_VAR
 
 __all__ = ["CacheOptions", "CleansingRegionCache", "RegionEntry",
            "conjunction_implies"]
+
+#: A patcher re-cleanses the given dirty cluster-key values under the
+#: entry's own ec and returns the resulting rows (region column order).
+Patcher = Callable[["RegionEntry", Sequence[object]], list[tuple]]
 
 #: Global sequence for temp-table names; engines sharing one database
 #: must never collide.
@@ -211,6 +222,13 @@ class CacheOptions:
     max_bytes: int = 64 << 20
     #: Hard cap on the number of cached regions.
     max_entries: int = 16
+    #: Patch-vs-invalidate thresholds: an append dirtying more than
+    #: ``max_patch_keys`` cluster-key values, or more than
+    #: ``max_patch_fraction`` of the region's sequences, falls back to
+    #: full invalidation (re-cleansing most of the region through the
+    #: OR-of-equalities patch path would cost more than a rebuild).
+    max_patch_keys: int = 64
+    max_patch_fraction: float = 0.5
 
 
 @dataclass
@@ -229,6 +247,16 @@ class RegionEntry:
     table: Table
     #: Estimated in-memory footprint of the rows.
     nbytes: int
+    #: CLUSTER BY column of the rules (patch granularity); None disables
+    #: patching for this entry.
+    cluster_key: str | None = None
+    #: True when some rule MODIFYs the cluster key itself — cached rows
+    #: can then carry rewritten key values, so stale sequences cannot be
+    #: located by source-key and the entry must invalidate, not patch.
+    cluster_key_modified: bool = False
+    #: ``source_table.data_epoch`` at materialization time, the cursor
+    #: into the table's delta log.
+    source_data_epoch: int = 0
 
 
 def _bound_column(conjuncts: Sequence[Expr]) -> str | None:
@@ -281,6 +309,12 @@ class CleansingRegionCache:
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Incremental-maintenance counters: entries patched in place,
+        #: cluster-key sequences re-cleansed by those patches, and delta
+        #: epochs consumed from source-table delta logs.
+        self.patches = 0
+        self.sequences_recleaned = 0
+        self.delta_epochs_applied = 0
 
     # ------------------------------------------------------------------
 
@@ -290,13 +324,17 @@ class CleansingRegionCache:
     def total_bytes(self) -> int:
         return sum(entry.nbytes for entry in self._entries.values())
 
-    def _is_stale(self, entry: RegionEntry) -> bool:
-        if entry.source_table.version != entry.source_version:
-            return True
+    def _is_orphaned(self, entry: RegionEntry) -> bool:
+        """Source table dropped or replaced in the catalog."""
         catalog = self.database.catalog
         name = entry.source_table.name
         return name not in catalog \
             or catalog.table(name) is not entry.source_table
+
+    def _is_stale(self, entry: RegionEntry) -> bool:
+        if entry.source_table.version != entry.source_version:
+            return True
+        return self._is_orphaned(entry)
 
     def _drop(self, name: str, *, evicted: bool) -> None:
         self._entries.pop(name, None)
@@ -309,36 +347,155 @@ class CleansingRegionCache:
         else:
             self.invalidations += 1
 
-    def _prune_stale(self) -> None:
+    def _prune_stale(self, *, keep_patchable: bool) -> None:
         for name in list(self._entries):
-            if self._is_stale(self._entries[name]):
-                self._drop(name, evicted=False)
+            entry = self._entries[name]
+            if not self._is_stale(entry):
+                continue
+            if keep_patchable and not self._is_orphaned(entry) \
+                    and entry.cluster_key is not None \
+                    and not entry.cluster_key_modified \
+                    and entry.source_table.delta_since(
+                        entry.source_data_epoch) is not None:
+                continue
+            self._drop(name, evicted=False)
+
+    # ------------------------------------------------------------------
+    # Patch-vs-invalidate
+    # ------------------------------------------------------------------
+
+    def _patch_plan(self, entry: RegionEntry) \
+            -> tuple[int, list[object]] | None:
+        """Decide whether *entry* can be patched back to freshness.
+
+        Returns ``(delta_epochs, dirty_values)`` when every mutation
+        since materialization was an append, the appended rows carry
+        usable cluster keys, the dirty-sequence count is under the
+        thresholds, and the cached region is laid out as sorted
+        contiguous cluster-key runs (the splice invariant). None means
+        the entry must be invalidated instead.
+        """
+        if entry.cluster_key is None or entry.cluster_key_modified:
+            return None
+        table = entry.source_table
+        if entry.cluster_key not in table.schema.names:
+            return None
+        delta = table.delta_since(entry.source_data_epoch)
+        if delta is None:
+            return None
+        key_position = table.schema.position_of(entry.cluster_key)
+        dirty: set = set()
+        for start, count in delta:
+            for row in table.rows[start:start + count]:
+                value = row[key_position]
+                if value is None:
+                    # An equality predicate can never re-select a NULL
+                    # sequence; the patch would silently lose those rows.
+                    return None
+                dirty.add(value)
+        options = self.options
+        if len(dirty) > options.max_patch_keys:
+            return None
+        region_position = entry.table.schema.position_of(entry.cluster_key)
+        region_keys: set = set()
+        previous = None
+        for row in entry.table.rows:
+            value = row[region_position]
+            key = sort_key(value)
+            if previous is not None and key < previous:
+                # Rules without window columns emit unsorted regions;
+                # run-splicing needs sorted contiguous runs.
+                return None
+            region_keys.add(value)
+            previous = key
+        total = len(region_keys | dirty)
+        if total and len(dirty) / total > options.max_patch_fraction:
+            return None
+        return len(delta), sorted(dirty, key=sort_key)
+
+    def _patch(self, entry: RegionEntry, patcher: Patcher) -> bool:
+        """Re-cleanse *entry*'s dirty sequences and splice them in.
+
+        Soundness: rules are per-sequence (windows partition by the
+        cluster key), so for every non-dirty key the cached run equals
+        its full-recompute run, and the patcher's output — the expanded
+        subplan restricted to the dirty keys, under the entry's own ec —
+        equals the full recompute's runs for the dirty keys. Both inputs
+        arrive sorted by the cluster key's sort order with disjoint key
+        sets, so a single ordered merge reproduces the full recompute
+        byte-for-byte.
+        """
+        plan = self._patch_plan(entry)
+        if plan is None:
+            return False
+        epochs, dirty_values = plan
+        table = entry.source_table
+        if dirty_values:
+            dirty = set(dirty_values)
+            position = entry.table.schema.position_of(entry.cluster_key)
+            fresh_rows = patcher(entry, dirty_values)
+            fresh_rows.sort(key=lambda row: sort_key(row[position]))
+            kept_rows = [row for row in entry.table.rows
+                         if row[position] not in dirty]
+            merged = list(heapq.merge(
+                kept_rows, fresh_rows,
+                key=lambda row: sort_key(row[position])))
+            entry.table.replace_rows(merged, coerced=True)
+            self.database.stats.rebase(entry.table)
+            entry.nbytes = _estimate_bytes(entry.table.rows)
+            self.sequences_recleaned += len(dirty_values)
+        entry.source_version = table.version
+        entry.source_data_epoch = table.data_epoch
+        self.patches += 1
+        self.delta_epochs_applied += epochs
+        return True
 
     # ------------------------------------------------------------------
 
     def lookup(self, table: Table, rule_key: tuple[str, ...],
-               ec_conjuncts: Sequence[Expr]) -> RegionEntry | None:
-        """The smallest fresh region subsuming *ec_conjuncts*, or None."""
-        self._prune_stale()
-        best: tuple[str, RegionEntry] | None = None
+               ec_conjuncts: Sequence[Expr], *,
+               patcher: Patcher | None = None) -> RegionEntry | None:
+        """The smallest region subsuming *ec_conjuncts*, or None.
+
+        Fresh subsuming entries win outright. When *patcher* is given,
+        stale-but-patchable entries are considered next (smallest
+        first): the first one that patches successfully is served; ones
+        that decline are invalidated. Without a patcher the original
+        drop-on-stale behavior is preserved.
+        """
+        self._prune_stale(keep_patchable=patcher is not None)
+        fresh: tuple[str, RegionEntry] | None = None
+        stale: list[tuple[str, RegionEntry]] = []
         for name, entry in self._entries.items():
             if entry.source_table is not table \
                     or entry.rule_key != rule_key:
                 continue
             if not conjunction_implies(ec_conjuncts, entry.ec_conjuncts):
                 continue
-            if best is None or entry.nbytes < best[1].nbytes:
-                best = (name, entry)
-        if best is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(best[0])
-        self.hits += 1
-        return best[1]
+            if self._is_stale(entry):
+                stale.append((name, entry))
+            elif fresh is None or entry.nbytes < fresh[1].nbytes:
+                fresh = (name, entry)
+        if fresh is not None:
+            self._entries.move_to_end(fresh[0])
+            self.hits += 1
+            return fresh[1]
+        if patcher is not None:
+            for name, entry in sorted(stale,
+                                      key=lambda pair: pair[1].nbytes):
+                if self._patch(entry, patcher):
+                    self._entries.move_to_end(name)
+                    self.hits += 1
+                    return entry
+                self._drop(name, evicted=False)
+        self.misses += 1
+        return None
 
     def store(self, table: Table, rule_key: tuple[str, ...],
               ec_conjuncts: Sequence[Expr],
-              rows: list[tuple]) -> RegionEntry | None:
+              rows: list[tuple], *,
+              cluster_key: str | None = None,
+              cluster_key_modified: bool = False) -> RegionEntry | None:
         """Materialize *rows* as a cached region; None if over budget."""
         nbytes = _estimate_bytes(rows)
         if nbytes > self.options.max_bytes:
@@ -354,7 +511,10 @@ class CleansingRegionCache:
         entry = RegionEntry(
             source_table=table, source_version=table.version,
             rule_key=rule_key, ec_conjuncts=list(ec_conjuncts),
-            table=cached, nbytes=nbytes)
+            table=cached, nbytes=nbytes,
+            cluster_key=cluster_key,
+            cluster_key_modified=cluster_key_modified,
+            source_data_epoch=table.data_epoch)
         self._entries[name] = entry
         self.stores += 1
         while len(self._entries) > self.options.max_entries \

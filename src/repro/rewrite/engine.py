@@ -17,10 +17,19 @@ m+1 / n+1 statement-selection heuristic on DB2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import RewriteError
 from repro.minidb.engine import Database, ExecutionMetrics
-from repro.minidb.expressions import ColumnRef, Expr, InSubquery, and_all
+from repro.minidb.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InSubquery,
+    Literal,
+    and_all,
+    or_all,
+)
 from repro.minidb.plan.logical import (
     LogicalFilter,
     LogicalNode,
@@ -33,13 +42,14 @@ from repro.minidb.result import ResultSet
 from repro.minidb.sqlparse import parse_select
 from repro.minidb.sqlparse.ast import SelectStmt, TableName
 from repro.minidb.vector import materialize
-from repro.rewrite.cache import CacheOptions, CleansingRegionCache
+from repro.rewrite.cache import CacheOptions, CleansingRegionCache, RegionEntry
 from repro.rewrite.context import QueryContext, extract_context
 from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
 from repro.rewrite.strategies import (
     expanded_subplan,
     joinback_subplan,
     naive_subplan,
+    validate_rule_keys,
 )
 from repro.sqlts.registry import RuleRegistry
 
@@ -224,12 +234,22 @@ class DeferredCleansingEngine:
     ) -> tuple[ResultSet, ExecutionMetrics, RewriteResult]:
         spawns = self.database.pool_spawns
         reuses = self.database.pool_reuses
+        cache = self.region_cache
+        patches = cache.patches if cache is not None else 0
+        recleaned = cache.sequences_recleaned if cache is not None else 0
+        epochs = cache.delta_epochs_applied if cache is not None else 0
         result = self.rewrite(query, strategies)
         plan = result.physical
         rows = materialize(plan)
         metrics = ExecutionMetrics.from_plan(plan)
         metrics.pool_spawns = self.database.pool_spawns - spawns
         metrics.pool_reuses = self.database.pool_reuses - reuses
+        if cache is not None:
+            metrics.cache_patches = cache.patches - patches
+            metrics.sequences_recleaned = \
+                cache.sequences_recleaned - recleaned
+            metrics.delta_epochs_applied = \
+                cache.delta_epochs_applied - epochs
         return (ResultSet([f.name for f in plan.schema], rows), metrics,
                 result)
 
@@ -279,24 +299,33 @@ class DeferredCleansingEngine:
         fills the region runs shard-parallel on the persistent pool —
         the cached rows are byte-identical either way (the exchange
         merge is deterministic), so cache keys stay mode-independent.
+
+        A region whose source table has only *appended* rows since
+        materialization is patched rather than re-materialized: the
+        lookup hands the cache a patcher that re-cleanses just the dirty
+        cluster-key sequences (see ``CleansingRegionCache._patch``).
         """
         cache = self.region_cache
         table = self.database.table(table_name)
         rule_key = tuple(compiled.name for compiled in rules)
+        cluster_key, _ = validate_rule_keys(rules)
+        modified: set[str] = set()
+        for compiled in rules:
+            modified.update(compiled.rule.action.assignments)
         label = "cached"
-        entry = cache.lookup(table, rule_key, analysis.ec_conjuncts)
+        entry = cache.lookup(table, rule_key, analysis.ec_conjuncts,
+                             patcher=self._region_patcher(table_name, rules))
         if entry is None:
             subplan = expanded_subplan(self.database, self.registry, rules,
                                        table_name, analysis.ec_conjuncts)
             rows = materialize(self.database.plan(subplan))
-            entry = cache.store(table, rule_key, analysis.ec_conjuncts,
-                                rows)
+            entry = cache.store(
+                table, rule_key, analysis.ec_conjuncts, rows,
+                cluster_key=cluster_key,
+                cluster_key_modified=cluster_key in modified)
             if entry is None:
                 return None
             label = "cached-cold"
-        modified: set[str] = set()
-        for compiled in rules:
-            modified.update(compiled.rule.action.assignments)
         stable = [
             conjunct for conjunct in context.s_conjuncts
             if not ({ref.name for ref in conjunct.referenced_columns()}
@@ -311,6 +340,29 @@ class DeferredCleansingEngine:
                                          for name in table.schema.names])
         return self._cost_candidate(label, "cached", context, region,
                                     kept_s=context.s_original)
+
+    def _region_patcher(self, table_name: str, rules):
+        """Build the dirty-sequence re-cleanser handed to the cache.
+
+        The patcher recomputes the expanded subplan under the *entry's
+        own* ec (not the current probe's, which may be narrower) with an
+        extra OR-of-equalities restriction to the dirty cluster keys —
+        the predicate is constant per sequence, so pushing it with the
+        ec guards is sound, and going through ``Database.plan`` keeps
+        the recompute composed with sharding and batching.
+        """
+
+        def patch(entry: RegionEntry,
+                  dirty_values: Sequence[object]) -> list[tuple]:
+            predicate = or_all([
+                BinaryOp("=", ColumnRef(entry.cluster_key), Literal(value))
+                for value in dirty_values])
+            subplan = expanded_subplan(
+                self.database, self.registry, rules, table_name,
+                list(entry.ec_conjuncts) + [predicate])
+            return materialize(self.database.plan(subplan))
+
+        return patch
 
     def _residual_originals(self, context: QueryContext,
                             analysis: ExpandedAnalysis) -> list[Expr]:

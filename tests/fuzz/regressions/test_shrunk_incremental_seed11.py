@@ -1,0 +1,48 @@
+"""Pinned fuzz seed for the streaming-append oracle label.
+
+Found by: python -m repro.fuzz --seed 11 (label sweep: incremental)
+Shrunk to 6 rows / 1 rules / 1 query conjuncts — the smallest case that
+still loads a prefix, warms the region cache, and streams two append
+chunks through ``Database.append`` with a re-query after each (three
+cluster-key sequences keep the dirty fraction under the patch
+threshold, so the patch path — not invalidation — is exercised).
+
+Reproduce interactively:
+
+    from repro.fuzz.oracle import run_case
+    import test_shrunk_incremental_seed11 as m
+    print(run_case(m._case(), labels=("incremental",)).summary())
+"""
+
+from repro.fuzz.cases import FuzzCase, QuerySpec
+from repro.fuzz.oracle import run_case
+
+READS_ROWS = [
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000001', 978326700, 'reader_0000_001', '0000010000010', 'step_001'),
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000001', 978326810, 'reader_0000_001', '0000010000010', 'step_001'),
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000002', 978326720, 'reader_0000_002', '0000010000020', 'step_001'),
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000002', 978326930, 'reader_0000_002', '0000010000020', 'step_002'),
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000001', 978326940, 'reader_0000_003', '0000010000010', 'step_002'),
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000003', 978326950, 'reader_0000_003', '0000010000030', 'step_001'),
+]
+
+RULES = [
+    "DEFINE fuzz_incremental ON caser CLUSTER BY epc SEQUENCE BY rtime\nAS (A, B)\nWHERE a.biz_loc = b.biz_loc AND b.rtime - a.rtime < 600\nACTION DELETE B",
+]
+
+QUERY = QuerySpec(
+    conjuncts=["c.rtime <= 978327000"],
+    dimensions=[
+    ],
+)
+
+
+def _case() -> FuzzCase:
+    return FuzzCase(seed=11, iteration=0,
+                    reads_rows=list(READS_ROWS), rules=list(RULES),
+                    query=QUERY)
+
+
+def test_shrunk_incremental_seed11() -> None:
+    report = run_case(_case(), labels=("incremental",))
+    assert report.ok, report.summary()

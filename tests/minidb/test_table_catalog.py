@@ -149,21 +149,23 @@ class TestColumnarCache:
         assert table.columnar() is first
         assert first == [["e1", "e2"], [1, 2]]
 
-    def test_insert_evicts_eagerly(self):
+    def test_insert_extends_lazily(self):
+        # Appends no longer evict: the cached transpose is kept and the
+        # appended tail is transposed on the next columnar() call.
         table = Table("r", SCHEMA)
         table.bulk_load([("e1", 1)])
-        table.columnar()
+        first = table.columnar()
         table.insert(("e2", 2))
-        assert table._columns is None  # dropped at mutation, not at reread
-        assert table.columnar() == [["e1", "e2"], [1, 2]]
+        assert table.columnar() is first  # same lists, extended in place
+        assert first == [["e1", "e2"], [1, 2]]
 
-    def test_bulk_load_and_replace_evict(self):
+    def test_bulk_load_extends_and_replace_evicts(self):
         table = Table("r", SCHEMA)
         table.bulk_load([("e1", 1)])
-        table.columnar()
+        first = table.columnar()
         table.bulk_load([("e2", 2)])
-        assert table._columns is None
-        table.columnar()
+        assert table.columnar() is first
+        assert first == [["e1", "e2"], [1, 2]]
         table.replace_rows([("e3", 3)])
-        assert table._columns is None
+        assert table._columns is None  # full rewrite still evicts eagerly
         assert table.columnar() == [["e3"], [3]]

@@ -149,7 +149,7 @@ class TestRegionCacheHits:
         assert cached.region_cache.hits == 0
         assert cached.region_cache.stores == 2
 
-    def test_insert_invalidates(self):
+    def test_insert_patches_instead_of_invalidating(self):
         db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
         sql = q("rtime <= 300")
         cached.execute(sql)
@@ -159,10 +159,14 @@ class TestRegionCacheHits:
 
         db.run("insert into r values ('e9', 155, 'rx', 'la')")
 
+        # The appended row dirties one new sequence; the delta log lets
+        # the cache re-cleanse just that sequence and splice it in.
         assert sorted(cached.execute(sql).rows) == \
             sorted(plain.execute(sql).rows)
-        assert cache.invalidations == 1
-        assert cache.hits == 1  # stale entry must not be served
+        assert cache.invalidations == 0
+        assert cache.patches == 1
+        assert cache.sequences_recleaned == 1
+        assert cache.hits == 2  # the patched entry was served
 
     def test_infeasible_rules_bypass_cache(self):
         db, cached, plain = make_engines(ROWS, ("cycle",))
@@ -290,38 +294,58 @@ class TestInvalidationRaces:
         cache = cached.region_cache
         assert cache.hits == 1
         db.run("insert into r values ('e9', 155, 'rx', 'la')")
-        # The next execution must re-cleanse, not serve the stale region.
+        # The next execution must not serve the stale rows as-is: the
+        # entry is patched (dirty sequence re-cleansed) before serving.
         assert sorted(cached.execute(sql).rows) == \
             sorted(plain.execute(sql).rows)
-        assert cache.invalidations == 1 and cache.hits == 1
-        # ... and the freshly re-stored region warms up again.
+        assert cache.patches == 1 and cache.hits == 2
+        assert cache.invalidations == 0
+        # ... and the patched region keeps serving plain hits.
         assert sorted(cached.execute(sql).rows) == \
             sorted(plain.execute(sql).rows)
-        assert cache.hits == 2
+        assert cache.hits == 3
 
-    def test_every_interleaved_bump_invalidates(self):
+    def test_every_interleaved_append_patches(self):
         db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
         sql = q("rtime <= 300")
         for step in range(3):
-            cached.execute(sql)  # store (step 0) / warm hit (re-stored)
+            cached.execute(sql)  # store (step 0) / warm hit (patched)
             db.run(f"insert into r values ('e{step}', {150 + step}, "
                    "'rx', 'la')")
             assert sorted(cached.execute(sql).rows) == \
                 sorted(plain.execute(sql).rows), step
-        # Each post-insert execution invalidated and re-stored; the
-        # leading execution of steps 1 and 2 hit the re-stored region.
-        assert cached.region_cache.invalidations == 3
-        assert cached.region_cache.hits == 2
-        assert cached.region_cache.stores == 4
+        # One cold store, then every post-insert execution patched the
+        # same entry in place; no invalidation ever fired.
+        assert cached.region_cache.invalidations == 0
+        assert cached.region_cache.patches == 3
+        assert cached.region_cache.hits == 5
+        assert cached.region_cache.stores == 1
 
-    def test_load_bumps_version(self):
-        db, cached, plain = make_engines(ROWS, ("duplicate",))
+    def test_whole_region_dirty_invalidates_not_patches(self):
+        # ROWS is a single sequence (epc e1); appending to it dirties
+        # 100% of the region's sequences, over max_patch_fraction — the
+        # patch-vs-invalidate decision must fall back to invalidation.
+        db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
+        cached.region_cache.options.max_patch_fraction = 0.4
         sql = q("rtime <= 300")
         cached.execute(sql)
-        db.load("r", [("e9", 42, "r0", "l1")])
+        db.run("insert into r values ('e1', 155, 'rx', 'la')")
         assert sorted(cached.execute(sql).rows) == \
             sorted(plain.execute(sql).rows)
         assert cached.region_cache.invalidations == 1
+        assert cached.region_cache.patches == 0
+
+    def test_load_append_patches(self):
+        db, cached, plain = make_engines(ROWS, ("duplicate",))
+        sql = q("rtime <= 300")
+        cached.execute(sql)
+        # bulk loads land in the delta log too, so a post-load query
+        # patches rather than re-cleansing the whole region.
+        db.load("r", [("e9", 42, "r0", "l1")])
+        assert sorted(cached.execute(sql).rows) == \
+            sorted(plain.execute(sql).rows)
+        assert cached.region_cache.invalidations == 0
+        assert cached.region_cache.patches == 1
 
     def test_table_replacement_detected_without_version_bump(self):
         # Dropping and recreating the table yields a fresh object whose
@@ -343,11 +367,13 @@ class TestInvalidationRaces:
 
     def test_bump_through_second_engine_sharing_db(self):
         # A different engine (no cache) mutating the shared database
-        # must still invalidate the cached engine's regions.
+        # must still be seen by the cached engine's regions — the append
+        # lands in the shared table's delta log, so it patches.
         db, cached, plain = make_engines(ROWS, ("reader", "duplicate"))
         sql = q("rtime <= 300")
         cached.execute(sql)
         plain.database.run("insert into r values ('e9', 155, 'rx', 'la')")
         assert sorted(cached.execute(sql).rows) == \
             sorted(plain.execute(sql).rows)
-        assert cached.region_cache.invalidations == 1
+        assert cached.region_cache.patches == 1
+        assert cached.region_cache.invalidations == 0
