@@ -6,11 +6,13 @@ it for better-separated curves. Workbenches are session-cached through
 the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
 
 Every benchmark run also appends machine-readable results to
-``BENCH_PR5.json`` at the repo root (the per-PR successor to PR 4's
-``BENCH_PR4.json``): one wall-clock record per test, plus any
+``BENCH_PR6.json`` at the repo root (the per-PR successor to PR 5's
+``BENCH_PR5.json``): one wall-clock record per test, plus any
 :class:`ExecutionMetrics` rows a test explicitly records via the
-``record_metrics`` fixture. The file tracks the perf trajectory across
-PRs without having to parse pytest-benchmark output.
+``record_metrics`` fixture, all under a ``host`` block capturing the
+machine and knob configuration the numbers were taken on. The file
+tracks the perf trajectory across PRs without having to parse
+pytest-benchmark output.
 
 ``REPRO_BENCH_SMOKE=1`` switches the suite to a correctness smoke run:
 iteration counts drop to the minimum and timing-ratio assertions are
@@ -21,6 +23,8 @@ job runs.
 import dataclasses
 import json
 import os
+import platform
+import sys
 import time
 from pathlib import Path
 
@@ -30,18 +34,39 @@ from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
 
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 #: Smoke mode: run everything once, assert correctness, skip timing bars.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
 
+#: Knob environment variables snapshotted into every results file, so a
+#: recorded number can always be tied back to the configuration that
+#: produced it.
+_KNOB_ENV = ("REPRO_CODEGEN", "REPRO_WORKERS", "REPRO_BATCH_SIZE",
+             "REPRO_PARALLEL", "REPRO_BENCH_SCALE", "REPRO_BENCH_SMOKE")
+
+
+def host_metadata() -> dict:
+    """Machine + knob configuration for the results payload."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+        "knobs": {name: os.environ.get(name) for name in _KNOB_ENV
+                  if os.environ.get(name) is not None},
+    }
+
 
 @pytest.fixture(scope="session")
 def bench_records():
-    """Accumulates result rows; written to BENCH_PR5.json at session end."""
+    """Accumulates result rows; written to BENCH_PR6.json at session end."""
     records = []
     yield records
-    payload = {"bench_scale": BENCH_SCALE, "records": records}
+    payload = {"bench_scale": BENCH_SCALE, "host": host_metadata(),
+               "records": records}
     BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                                   encoding="utf-8")
 

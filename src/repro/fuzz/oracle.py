@@ -26,6 +26,10 @@ path and diffs canonicalized row bags against the naive strategy
 ``vectorized``            naive re-run under batch execution with a
                           small odd batch size (stressing chunk
                           boundaries); metrics must show batches ran
+``compiled``              naive re-run with query compilation forced on
+                          (``REPRO_CODEGEN=1``) and batch size 7; when
+                          the planner fused a spine, metrics must show
+                          a compiled pipeline actually ran
 ``sharded``               naive re-run with the shard pool (2 workers)
                           *and* batch size 7 together; metrics must
                           show at least one Exchange dispatched
@@ -56,6 +60,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.errors import RewriteError
 from repro.fuzz.cases import READS_COLUMNS, FuzzCase
+from repro.minidb.codegen import CompiledSpineOp, forced_codegen
 from repro.minidb.engine import Database
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.optimizer.planner import PlannerOptions
@@ -73,7 +78,8 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 #: Every comparison the oracle can run, in execution order.
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
-              "parallel", "vectorized", "sharded", "incremental")
+              "parallel", "vectorized", "compiled", "sharded",
+              "incremental")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -202,7 +208,9 @@ def run_case(case: FuzzCase,
 
     db, registry = build_database(case)
     engine = DeferredCleansingEngine(db, registry)
-    with forced_batch_size(0):  # genuine tuple-at-a-time reference
+    # Genuine tuple-at-a-time interpreted reference: batch execution and
+    # query compilation both pinned off, whatever the ambient env says.
+    with forced_codegen(False), forced_batch_size(0):
         report.baseline = engine.execute(
             sql, strategies={"naive"}).canonical()
 
@@ -331,6 +339,29 @@ def run_case(case: FuzzCase,
         return result.canonical()
 
     compare("vectorized", vectorized)
+
+    def compiled() -> tuple[tuple, ...]:
+        codegen_db, codegen_registry = build_database(case)
+        codegen_engine = DeferredCleansingEngine(codegen_db,
+                                                 codegen_registry)
+        # Compiled kernels over batch size 7: fused spines must agree
+        # with the interpreted baseline at awkward chunk boundaries.
+        with forced_codegen(True), forced_batch_size(7):
+            result, metrics, choice = codegen_engine.execute_with_metrics(
+                sql, strategies={"naive"})
+        # Not every plan fuses (uncovered operators fall back to the
+        # interpreter) — but when the planner DID wrap a spine, metrics
+        # reporting zero fused pipelines would mean the label silently
+        # re-tested the interpreted path.
+        planned = any(isinstance(node, CompiledSpineOp)
+                      for node in choice.chosen.physical.walk())
+        if planned and metrics.fused_pipelines == 0:
+            raise AssertionError(
+                "compiled strategy planned a fused spine but metrics "
+                "recorded zero fused pipelines")
+        return result.canonical()
+
+    compare("compiled", compiled)
 
     def sharded() -> tuple[tuple, ...]:
         shard_db, shard_registry = build_database(case)

@@ -1,0 +1,36 @@
+"""Query compilation: fused plan spines as generated Python kernels.
+
+Gated behind ``REPRO_CODEGEN=1``. See ``pipeline`` for the fusion
+grammar and emitter, ``cache`` for the source-keyed compile cache and
+linecache registration, and DESIGN.md §12 for the architecture notes.
+"""
+
+from repro.minidb.codegen.cache import (
+    DUMP_ENV,
+    cache_stats,
+    clear_cache,
+    compiled_kernel,
+)
+from repro.minidb.codegen.knobs import (
+    CODEGEN_ENV,
+    codegen_enabled,
+    forced_codegen,
+)
+from repro.minidb.codegen.pipeline import (
+    FAULT_ENV,
+    CompiledSpineOp,
+    apply_codegen,
+)
+
+__all__ = [
+    "CODEGEN_ENV",
+    "CompiledSpineOp",
+    "DUMP_ENV",
+    "FAULT_ENV",
+    "apply_codegen",
+    "cache_stats",
+    "clear_cache",
+    "codegen_enabled",
+    "compiled_kernel",
+    "forced_codegen",
+]

@@ -1,0 +1,104 @@
+"""Compile cache and linecache registration for generated kernels.
+
+Generated source is fully deterministic for a given plan shape, so the
+cache is keyed on the source text itself: two plans that fuse to the
+same kernel (common across the rewrite engine's candidate plans, and
+across plan-cache misses after appends) share one code object. Each
+distinct source gets a stable virtual filename derived from its content
+hash and is registered with :mod:`linecache`, so tracebacks raised
+inside a kernel — and ``pdb`` — show the emitted lines, not ``<string>``.
+
+``REPRO_CODEGEN_DUMP=<dir>`` additionally writes every freshly compiled
+kernel to ``<dir>/minidb-codegen-<hash>.py`` for offline inspection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import linecache
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "DUMP_ENV",
+    "cache_stats",
+    "clear_cache",
+    "compiled_kernel",
+]
+
+DUMP_ENV = "REPRO_CODEGEN_DUMP"
+
+#: Bounds memory for long-lived processes; far above any test workload.
+_CACHE_CAPACITY = 128
+
+_cache: OrderedDict[str, tuple[Callable, str]] = OrderedDict()
+
+#: Process-wide counters, diffed by ``execute_with_metrics`` the same
+#: way the pool spawn/reuse counters are.
+cache_hits = 0
+cache_misses = 0
+compile_ms = 0.0
+
+
+def cache_stats() -> tuple[int, int, float]:
+    """``(hits, misses, total compile milliseconds)`` so far."""
+    return cache_hits, cache_misses, compile_ms
+
+
+def clear_cache() -> None:
+    """Drop every cached kernel (tests only)."""
+    for _, filename in _cache.values():
+        linecache.cache.pop(filename, None)
+    _cache.clear()
+
+
+def _virtual_filename(source: str) -> str:
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    return f"<minidb-codegen-{digest}>"
+
+
+def _dump(filename: str, source: str) -> None:
+    directory = os.environ.get(DUMP_ENV, "").strip()
+    if not directory:
+        return
+    stem = filename.strip("<>")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{stem}.py").write_text(source)
+
+
+def compiled_kernel(source: str,
+                    namespace: Mapping[str, Any]) -> tuple[Callable, str]:
+    """Compile *source* (or reuse a cached compile) → ``(kernel, filename)``.
+
+    *namespace* supplies the runtime helpers the kernel's globals need
+    (``RowBatch``, the SQL logic/division helpers); it is only consulted
+    on a cache miss, so callers must pass the same helpers for the same
+    source.
+    """
+    global cache_hits, cache_misses, compile_ms
+    entry = _cache.get(source)
+    if entry is not None:
+        cache_hits += 1
+        _cache.move_to_end(source)
+        return entry
+    cache_misses += 1
+    started = time.perf_counter()
+    filename = _virtual_filename(source)
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(keepends=True), filename)
+    code = compile(source, filename, "exec")
+    module_globals: dict[str, Any] = dict(namespace)
+    module_globals["__name__"] = filename.strip("<>").replace("-", "_")
+    exec(code, module_globals)
+    kernel = module_globals["_fused_kernel"]
+    compile_ms += (time.perf_counter() - started) * 1000.0
+    _dump(filename, source)
+    _cache[source] = (kernel, filename)
+    while len(_cache) > _CACHE_CAPACITY:
+        _, (_, evicted) = _cache.popitem(last=False)
+        linecache.cache.pop(evicted, None)
+    return kernel, filename

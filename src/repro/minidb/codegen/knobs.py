@@ -1,0 +1,36 @@
+"""The ``REPRO_CODEGEN`` knob.
+
+Kept in its own tiny module so the planner, the engine fingerprints and
+the fuzz oracle can all consult the flag without importing the emitter
+(and its physical-plan dependencies).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["CODEGEN_ENV", "codegen_enabled", "forced_codegen"]
+
+#: Set to ``1`` to compile fusible plan spines into generated kernels.
+CODEGEN_ENV = "REPRO_CODEGEN"
+
+
+def codegen_enabled() -> bool:
+    """Whether plan compilation is switched on for new plans."""
+    return os.environ.get(CODEGEN_ENV, "").strip() == "1"
+
+
+@contextmanager
+def forced_codegen(enabled: bool) -> Iterator[None]:
+    """Pin the codegen knob for a scope (tests, fuzz labels, benchmarks)."""
+    previous = os.environ.get(CODEGEN_ENV)
+    os.environ[CODEGEN_ENV] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CODEGEN_ENV, None)
+        else:
+            os.environ[CODEGEN_ENV] = previous

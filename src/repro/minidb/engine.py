@@ -16,6 +16,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.minidb import parallel
 from repro.minidb.catalog import Catalog
+from repro.minidb.codegen import CompiledSpineOp, cache_stats, codegen_enabled
 from repro.minidb.optimizer.cost import CostModel
 from repro.minidb.optimizer.planner import Planner, PlannerOptions
 from repro.minidb.optimizer.stats import StatsRepository
@@ -97,6 +98,15 @@ class ExecutionMetrics:
     delta_epochs_applied: int = 0
     sequences_recleaned: int = 0
     cache_patches: int = 0
+    #: Compiled spines in the executed plan (0 unless REPRO_CODEGEN=1
+    #: produced at least one fused kernel for this query).
+    fused_pipelines: int = 0
+    #: Kernel compile-cache activity and compile time for the call that
+    #: produced these metrics (filled in by ``execute_with_metrics``).
+    #: A plan-cache hit re-runs its kernels without touching either.
+    codegen_cache_hits: int = 0
+    codegen_cache_misses: int = 0
+    compile_ms: float = 0.0
 
     @property
     def selection_density(self) -> float | None:
@@ -124,6 +134,8 @@ class ExecutionMetrics:
                 metrics.sort_operators += 1
             if isinstance(node, WindowOp) and node.parallel_workers:
                 metrics.parallel_window_ops += 1
+            if isinstance(node, CompiledSpineOp):
+                metrics.fused_pipelines += 1
             if isinstance(node, ExchangeOp) and node.workers_used:
                 metrics.sharded_segments += 1
                 metrics.shard_workers = max(metrics.shard_workers,
@@ -239,7 +251,8 @@ class Database:
         return (self.catalog.version, self.stats.version,
                 tuple(table.version for table in self.catalog),
                 parallel.configured_worker_count(),
-                shard.SHARD_ROW_THRESHOLD)
+                shard.SHARD_ROW_THRESHOLD,
+                codegen_enabled())
 
     def shard_pool(self) -> "parallel.ShardWorkerPool | None":
         """The persistent worker pool, spawning or respawning as needed.
@@ -368,7 +381,8 @@ class Database:
                 tuple(table.schema_epoch for table in self.catalog),
                 tuple(sorted(vars(options).items())),
                 parallel.configured_worker_count(),
-                shard.SHARD_ROW_THRESHOLD)
+                shard.SHARD_ROW_THRESHOLD,
+                codegen_enabled())
 
     def _arm_exchanges(self, plan: PhysicalNode, logical: LogicalNode,
                        options: PlannerOptions) -> None:
@@ -439,6 +453,28 @@ class Database:
                          estimated_cost=plan.estimated_cost,
                          estimated_rows=plan.estimated_rows)
 
+    def explain_codegen(self, query: str | SelectStmt | LogicalNode,
+                        options: PlannerOptions | None = None) -> str:
+        """EXPLAIN CODEGEN: the generated kernel source for *query*.
+
+        Plans the query (honoring ``REPRO_CODEGEN``) and returns the
+        emitted source of every compiled spine, headed by its virtual
+        filename (the one tracebacks and ``linecache`` report). When the
+        plan contains no compiled pipeline, says why-ish: the knob state
+        is included so a disabled knob is obvious.
+        """
+        plan = self.plan(query, options)
+        sections: list[str] = []
+        for index, node in enumerate(node for node in plan.walk()
+                                     if isinstance(node, CompiledSpineOp)):
+            sections.append(f"-- pipeline {index}: {node.filename}\n"
+                            f"{node.source_text}")
+        if not sections:
+            state = "on" if codegen_enabled() else "off"
+            return (f"-- no compiled pipelines "
+                    f"(REPRO_CODEGEN is {state})\n")
+        return "\n".join(sections)
+
     # -- execution --------------------------------------------------------
 
     def execute(self, query: str | SelectStmt | LogicalNode,
@@ -497,6 +533,7 @@ class Database:
         misses_before = self.plan_cache.misses
         spawns_before = self.pool_spawns
         reuses_before = self.pool_reuses
+        codegen_before = cache_stats()
         plan = self.plan(query, options)
         rows = materialize(plan)
         columns = [out.name for out in plan.schema]
@@ -505,4 +542,8 @@ class Database:
         metrics.plan_cache_misses = self.plan_cache.misses - misses_before
         metrics.pool_spawns = self.pool_spawns - spawns_before
         metrics.pool_reuses = self.pool_reuses - reuses_before
+        codegen_after = cache_stats()
+        metrics.codegen_cache_hits = codegen_after[0] - codegen_before[0]
+        metrics.codegen_cache_misses = codegen_after[1] - codegen_before[1]
+        metrics.compile_ms = codegen_after[2] - codegen_before[2]
         return (ResultSet(columns, rows), metrics)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import PlanningError
 from repro.minidb.catalog import Catalog
+from repro.minidb.codegen import apply_codegen
 from repro.minidb.expressions import (
     BinaryOp,
     ColumnRef,
@@ -126,7 +127,11 @@ class Planner:
         """
         optimized = push_down_filters(logical) \
             if self._options.push_filters else logical
-        return self._lower(optimized)
+        root = self._lower(optimized)
+        # Codegen runs before the shard post-pass so parent and pool
+        # workers (which re-plan with shard_parallel=False) agree on
+        # tree shape and walk indices. No-op unless REPRO_CODEGEN=1.
+        return apply_codegen(root)
 
     # ------------------------------------------------------------------
 

@@ -172,6 +172,8 @@ class PhysicalNode:
                 node.sorted_rows = 0
             if hasattr(node, "input_rows"):
                 node.input_rows = 0
+            if hasattr(node, "kernel_runs"):  # codegen.CompiledSpineOp
+                node.kernel_runs = 0
             if hasattr(node, "workers_used"):  # ExchangeOp
                 node.workers_used = 0
                 node.morsel_count = 0
@@ -363,7 +365,8 @@ class ProjectOp(PhysicalNode):
     closures elementwise.
     """
 
-    __slots__ = ('child', '_bound_items', '_batch_items')
+    __slots__ = ('child', '_bound_items', '_batch_items', 'item_exprs',
+                 'passthrough')
 
     def __init__(self, child: PhysicalNode, schema: PlanSchema,
                  bound_items: Sequence[Callable[[tuple], Any]],
@@ -373,6 +376,9 @@ class ProjectOp(PhysicalNode):
         self.child = child
         self.schema = schema
         self._bound_items = list(bound_items)
+        # Kept unbound for the codegen emitter (and for EXPLAIN CODEGEN).
+        self.item_exprs = list(item_exprs) if item_exprs is not None else None
+        self.passthrough = dict(passthrough)
         self._batch_items: list[tuple[str, Any]] | None = None
         if item_exprs is not None:
             resolver = child.schema.resolver()
@@ -431,7 +437,7 @@ class HashJoinOp(PhysicalNode):
 
     __slots__ = ('left', 'right', '_left_keys', '_right_keys', 'kind',
                  '_residual', 'residual_expr', '_batch_left_keys',
-                 '_batch_right_keys')
+                 '_batch_right_keys', 'left_key_exprs', 'right_key_exprs')
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode,
                  schema: PlanSchema,
@@ -453,6 +459,11 @@ class HashJoinOp(PhysicalNode):
         self.residual_expr = residual_expr
         self._batch_left_keys: list[BatchBound] | None = None
         self._batch_right_keys: list[BatchBound] | None = None
+        # Kept unbound for the codegen emitter.
+        self.left_key_exprs = (list(left_key_exprs)
+                               if left_key_exprs is not None else None)
+        self.right_key_exprs = (list(right_key_exprs)
+                                if right_key_exprs is not None else None)
         if left_key_exprs is not None:
             resolver = left.schema.resolver()
             self._batch_left_keys = [expr.bind_batch(resolver)

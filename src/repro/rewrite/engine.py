@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import RewriteError
+from repro.minidb.codegen import cache_stats
 from repro.minidb.engine import Database, ExecutionMetrics
 from repro.minidb.expressions import (
     BinaryOp,
@@ -234,6 +235,7 @@ class DeferredCleansingEngine:
     ) -> tuple[ResultSet, ExecutionMetrics, RewriteResult]:
         spawns = self.database.pool_spawns
         reuses = self.database.pool_reuses
+        codegen_before = cache_stats()
         cache = self.region_cache
         patches = cache.patches if cache is not None else 0
         recleaned = cache.sequences_recleaned if cache is not None else 0
@@ -244,6 +246,10 @@ class DeferredCleansingEngine:
         metrics = ExecutionMetrics.from_plan(plan)
         metrics.pool_spawns = self.database.pool_spawns - spawns
         metrics.pool_reuses = self.database.pool_reuses - reuses
+        codegen_after = cache_stats()
+        metrics.codegen_cache_hits = codegen_after[0] - codegen_before[0]
+        metrics.codegen_cache_misses = codegen_after[1] - codegen_before[1]
+        metrics.compile_ms = codegen_after[2] - codegen_before[2]
         if cache is not None:
             metrics.cache_patches = cache.patches - patches
             metrics.sequences_recleaned = \

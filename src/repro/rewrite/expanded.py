@@ -50,12 +50,14 @@ __all__ = ["RuleContextAnalysis", "ExpandedAnalysis", "analyze_expanded",
 #: (the cleansing window loses the context rows outside the query
 #: region), and the fuzz acceptance test flips this flag to prove the
 #: oracle detects it and the shrinker minimizes it. Never set outside
-#: tests; the flag is read per call and defaults to off.
+#: tests; the flag is read per call and defaults to off. The value
+#: ``codegen`` selects the codegen emitter's fault instead (see
+#: ``repro.minidb.codegen.pipeline``), so the two drills stay separable.
 FAULT_ENV = "REPRO_FUZZ_INJECT_BUG"
 
 
 def _fault_injected() -> bool:
-    return os.environ.get(FAULT_ENV, "") not in ("", "0")
+    return os.environ.get(FAULT_ENV, "") not in ("", "0", "codegen")
 
 
 @dataclass

@@ -11,6 +11,7 @@ pool degrades to serial pass-through, never to an error.
 import pytest
 
 from repro.minidb import Database, PlannerOptions, SqlType, TableSchema
+from repro.minidb.codegen import CompiledSpineOp
 from repro.minidb.plan import shard
 from repro.minidb.plan.shard import ExchangeOp
 from repro.minidb.vector import forced_batch_size, materialize
@@ -46,13 +47,14 @@ def make_db(rows):
 
 
 def run_with_counters(db, sql):
-    """(rows, per-operator actual_rows) — Exchange excluded so serial
-    and sharded plans line up node for node."""
+    """(rows, per-operator actual_rows) — Exchange and CompiledSpine
+    wrappers excluded so serial, sharded, and compiled plans line up
+    node for node."""
     plan = db.plan(sql)
     rows = materialize(plan)
     counters = [(type(node).__name__, node.actual_rows)
                 for node in plan.walk()
-                if not isinstance(node, ExchangeOp)]
+                if not isinstance(node, (ExchangeOp, CompiledSpineOp))]
     return rows, counters
 
 
