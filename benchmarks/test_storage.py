@@ -1,0 +1,151 @@
+"""PR 7 acceptance benchmark: the out-of-core storage engine.
+
+Three storage-path numbers, all recorded to ``BENCH_PR7.json``:
+
+* **cold vs warm scan** — an aggregation over a freshly reopened disk
+  database (every page faulted through the buffer pool and decoded)
+  against the same query re-run with the pool warm. The cold pass must
+  actually read pages (counters prove the path ran); rows must be
+  byte-identical to an in-memory database holding the same data.
+* **append-commit throughput** — durable appends (WAL + fsync per
+  batch) in rows/s, plus the WAL byte volume, verified by reopening and
+  recounting.
+* **bounded-pool scan** — the same scan with an 8-page pool on a
+  dataset ~20x larger than the pool: peak residency must respect the
+  bound while the answer stays identical (the out-of-core claim).
+
+``REPRO_BENCH_SMOKE=1`` drops iteration counts to the minimum and skips
+the timing-ratio gates; correctness and counter assertions always run.
+"""
+
+import random
+import time
+
+import pytest
+from conftest import BENCH_SCALE, BENCH_SMOKE
+
+from repro.minidb import Database, SqlType, TableSchema
+
+#: Rows in the synthetic read stream (~12k at the default scale 12).
+STREAM_ROWS = 1000 * BENCH_SCALE
+
+#: Rows per durable append batch in the throughput measurement.
+APPEND_BATCH = 500
+
+#: Append batches (one WAL commit + fsync each).
+APPEND_BATCHES = 2 if BENCH_SMOKE else 10
+
+SCHEMA = TableSchema.of(
+    ("id", SqlType.INTEGER), ("epc", SqlType.VARCHAR),
+    ("loc", SqlType.VARCHAR), ("rtime", SqlType.INTEGER),
+    ("qty", SqlType.INTEGER))
+
+QUERY = ("select loc, count(*) as n, sum(qty) as total "
+         "from reads group by loc order by loc")
+
+
+def _rows(count, base=0):
+    rng = random.Random(71 + base)
+    return [(base + i, f"epc{rng.randrange(400)}", f"L{rng.randrange(12)}",
+             rng.randrange(100000),
+             None if rng.random() < 0.1 else rng.randrange(100))
+            for i in range(count)]
+
+
+def _build_disk(path, rows, **kwargs):
+    db = Database(storage="disk", storage_path=str(path), **kwargs)
+    db.create_table("reads", SCHEMA)
+    db.load("reads", rows)
+    return db
+
+
+def test_cold_vs_warm_scan(tmp_path, record_metrics):
+    rows = _rows(STREAM_ROWS)
+    _build_disk(tmp_path / "db", rows).shutdown()
+
+    memory_db = Database()
+    memory_db.create_table("reads", SCHEMA)
+    memory_db.load("reads", rows)
+    expected = memory_db.execute(QUERY).rows
+
+    db = Database(storage="disk", storage_path=str(tmp_path / "db"))
+    try:
+        start = time.perf_counter()
+        result, cold = db.execute_with_metrics(QUERY)
+        cold_s = time.perf_counter() - start
+        assert result.rows == expected
+        assert cold.pages_read > 0, "cold scan never touched the disk"
+
+        start = time.perf_counter()
+        result, warm = db.execute_with_metrics(QUERY)
+        warm_s = time.perf_counter() - start
+        assert result.rows == expected
+    finally:
+        db.shutdown()
+
+    record_metrics("cold-scan", cold, elapsed_s=round(cold_s, 6))
+    record_metrics("warm-scan", warm, elapsed_s=round(warm_s, 6))
+    if not BENCH_SMOKE:
+        assert warm_s <= cold_s * 1.5, (cold_s, warm_s)
+
+
+def test_append_commit_throughput(tmp_path, record_metrics):
+    db = _build_disk(tmp_path / "db", _rows(APPEND_BATCH))
+    total = APPEND_BATCH
+    start = time.perf_counter()
+    for batch in range(APPEND_BATCHES):
+        db.append("reads", _rows(APPEND_BATCH, base=total))
+        total += APPEND_BATCH
+    elapsed = time.perf_counter() - start
+    wal_bytes = db.storage.wal.bytes_written
+    commits = db.storage.wal.commits
+    db.shutdown()
+
+    reopened = Database(storage="disk", storage_path=str(tmp_path / "db"))
+    try:
+        count = reopened.execute(
+            "select count(*) as n from reads").rows[0][0]
+    finally:
+        reopened.shutdown()
+    assert count == total
+
+    record_metrics(
+        "append-commit", None,
+        rows_per_s=round(APPEND_BATCHES * APPEND_BATCH / elapsed, 1),
+        batches=APPEND_BATCHES, wal_bytes=wal_bytes, commits=commits,
+        elapsed_s=round(elapsed, 6))
+
+
+def test_bounded_pool_scan(tmp_path, record_metrics):
+    pool = 8
+    rows = _rows(STREAM_ROWS)
+    _build_disk(tmp_path / "db", rows, buffer_pages=pool,
+                page_size=512).shutdown()
+
+    memory_db = Database()
+    memory_db.create_table("reads", SCHEMA)
+    memory_db.load("reads", rows)
+    expected = memory_db.execute(QUERY).rows
+
+    db = Database(storage="disk", storage_path=str(tmp_path / "db"),
+                  buffer_pages=pool, page_size=512)
+    try:
+        start = time.perf_counter()
+        result, metrics = db.execute_with_metrics(QUERY)
+        elapsed = time.perf_counter() - start
+        counters = db.storage.counters
+        heap_pages = len(db.table("reads").rows.page_ids)
+    finally:
+        db.shutdown()
+
+    assert result.rows == expected
+    assert heap_pages >= pool * 10, (
+        f"dataset too small to stress the pool: {heap_pages} pages")
+    assert counters["peak_resident"] <= pool, counters
+    assert counters["overflow_events"] == 0, counters
+    record_metrics("bounded-pool-scan", metrics, elapsed_s=round(
+        elapsed, 6), heap_pages=heap_pages, **counters)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

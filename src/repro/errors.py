@@ -56,6 +56,14 @@ class ExecutionError(MiniDbError):
     """A runtime failure while executing a physical plan."""
 
 
+class StorageError(MiniDbError):
+    """The on-disk storage engine hit an invalid format or state."""
+
+
+class StorageCorruptionError(StorageError):
+    """A page or log record failed its checksum or structural checks."""
+
+
 class RuleError(ReproError):
     """Base class for SQL-TS cleansing-rule errors."""
 

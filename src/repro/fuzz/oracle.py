@@ -39,6 +39,12 @@ path and diffs canonicalized row bags against the naive strategy
                           engine (patching or invalidating as it sees
                           fit) must agree with a fresh naive run over
                           the same table state
+``disk``                  naive re-run against ``storage=disk``: build
+                          on disk, checkpoint, close, reopen with a
+                          4-page buffer pool, then query — every row is
+                          re-decoded from its on-disk representation;
+                          counters must prove pages faulted through
+                          the pool
 ========================  =============================================
 
 The baseline itself is computed with batch execution disabled
@@ -54,6 +60,8 @@ from __future__ import annotations
 
 import contextlib
 import os
+import shutil
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
@@ -79,7 +87,7 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
               "parallel", "vectorized", "compiled", "sharded",
-              "incremental")
+              "incremental", "disk")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -134,13 +142,20 @@ class OracleReport:
 
 def build_database(case: FuzzCase,
                    reads_rows: Sequence[tuple] | None = None,
+                   storage: str | None = None,
+                   buffer_pages: int | None = None,
+                   storage_path: str | None = None,
                    ) -> tuple[Database, RuleRegistry]:
     """A fresh database + registry holding exactly the case's data.
 
     *reads_rows* overrides the reads-table contents (the ``incremental``
     label loads a prefix and streams the rest in via appends).
+    *storage*/*buffer_pages*/*storage_path* select the storage backend
+    (the ``disk`` label pins ``storage="disk"`` with a tiny pool;
+    everything else follows the ambient ``REPRO_STORAGE`` default).
     """
-    db = Database()
+    db = Database(storage=storage, buffer_pages=buffer_pages,
+                  storage_path=storage_path)
     db.create_table("caser", _READS_SCHEMA)
     db.load("caser",
             case.reads_rows if reads_rows is None else reads_rows)
@@ -427,4 +442,41 @@ def run_case(case: FuzzCase,
         return got
 
     compare("incremental", incremental)
+
+    def disk() -> tuple[tuple, ...]:
+        # Out-of-core replay: build the database on disk, checkpoint
+        # and close it, then reopen with a 4-page buffer pool — the
+        # query faults every page back in and re-decodes each row from
+        # its on-disk representation (nothing can be served from
+        # build-time cache frames). Must be byte-identical to the
+        # in-memory baseline.
+        tmp = tempfile.mkdtemp(prefix="repro-fuzz-disk-")
+        try:
+            build_db, _ = build_database(case, storage="disk",
+                                         buffer_pages=4,
+                                         storage_path=tmp)
+            build_db.shutdown()  # checkpoint: pages + manifest durable
+            disk_db = Database(storage="disk", storage_path=tmp,
+                               buffer_pages=4)
+            try:
+                disk_registry = RuleRegistry(disk_db)
+                for text in case.rules:
+                    disk_registry.define(text)
+                disk_engine = DeferredCleansingEngine(disk_db,
+                                                      disk_registry)
+                with forced_codegen(False), forced_batch_size(0):
+                    result = disk_engine.execute(
+                        sql, strategies={"naive"}).canonical()
+                counters = disk_db.storage.counters
+            finally:
+                disk_db.shutdown()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        if case.reads_rows and counters["pages_read"] == 0:
+            raise AssertionError(
+                "disk strategy never faulted a page through the buffer "
+                "pool — the storage path did not run")
+        return result
+
+    compare("disk", disk)
     return report

@@ -19,9 +19,11 @@ class Catalog:
     fingerprint used by the prepared-plan cache.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, storage=None) -> None:
         self._tables: dict[str, Table] = {}
         self.version = 0
+        #: Disk storage backend shared by every table, or None (memory).
+        self.storage = storage
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -33,7 +35,9 @@ class Catalog:
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        table = Table(key, schema)
+        if self.storage is not None:
+            self.storage.log_create_table(key, schema)
+        table = Table(key, schema, storage=self.storage)
         self._tables[key] = table
         self.version += 1
         return table
@@ -42,7 +46,16 @@ class Catalog:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"no table named {name!r}")
+        table = self._tables[key]
+        if self.storage is not None:
+            self.storage.log_drop_table(key)
+            table.release_storage()
         del self._tables[key]
+        self.version += 1
+
+    def attach(self, table: Table) -> None:
+        """Register a table recovered from storage (no WAL logging)."""
+        self._tables[table.name] = table
         self.version += 1
 
     def table(self, name: str) -> Table:

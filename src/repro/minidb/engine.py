@@ -10,6 +10,7 @@ how the paper compiles m+1 SQL statements on DB2 and keeps the cheapest.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
@@ -101,6 +102,13 @@ class ExecutionMetrics:
     #: Compiled spines in the executed plan (0 unless REPRO_CODEGEN=1
     #: produced at least one fused kernel for this query).
     fused_pipelines: int = 0
+    #: Disk-storage counters for the call that produced these metrics
+    #: (filled in by ``execute_with_metrics``; all 0 in memory mode):
+    #: pages faulted into the buffer pool, pages evicted from it, and
+    #: WAL bytes appended (non-zero only if the call mutated tables).
+    pages_read: int = 0
+    pages_evicted: int = 0
+    wal_bytes: int = 0
     #: Kernel compile-cache activity and compile time for the call that
     #: produced these metrics (filled in by ``execute_with_metrics``).
     #: A plan-cache hit re-runs its kernels without touching either.
@@ -212,11 +220,38 @@ class PreparedPlanCache:
 
 
 class Database:
-    """An in-memory relational database with a SQL/OLAP query engine."""
+    """A relational database with a SQL/OLAP query engine.
+
+    Row storage is pluggable: ``storage="memory"`` (the default) keeps
+    rows in Python lists; ``storage="disk"`` stores them in slotted
+    pages behind a bounded buffer pool, with a write-ahead log and
+    checkpointing for crash recovery (see ``repro.minidb.storage``).
+    ``REPRO_STORAGE`` sets the default mode; *storage_path* names the
+    database directory (a throwaway temp dir when omitted), and reopening
+    an existing directory runs recovery — the catalog comes back with
+    the exact state of the last committed write.
+    """
 
     def __init__(self, options: PlannerOptions | None = None,
-                 plan_cache_size: int = 256) -> None:
-        self.catalog = Catalog()
+                 plan_cache_size: int = 256, *,
+                 storage: str | None = None,
+                 storage_path: str | None = None,
+                 buffer_pages: int | None = None,
+                 page_size: int | None = None) -> None:
+        mode = storage or os.environ.get("REPRO_STORAGE", "memory")
+        if mode not in ("memory", "disk"):
+            raise ValueError(
+                f"unknown storage mode {mode!r} (memory or disk)")
+        self.storage = None
+        if mode == "disk":
+            from repro.minidb.storage.backend import DiskStorage
+
+            self.storage = DiskStorage(path=storage_path,
+                                       buffer_pages=buffer_pages,
+                                       page_size=page_size)
+        self.catalog = Catalog(self.storage)
+        if self.storage is not None:
+            self.storage.open(self.catalog)
         self.stats = StatsRepository()
         self.cost_model = CostModel()
         self.options = options or PlannerOptions()
@@ -229,7 +264,7 @@ class Database:
 
     def __del__(self) -> None:
         try:
-            self.close()
+            self.shutdown()
         except Exception:  # noqa: BLE001 — interpreter may be tearing down
             pass
 
@@ -238,6 +273,19 @@ class Database:
         pool, self._shard_pool = self._shard_pool, None
         if pool is not None:
             pool.close()
+
+    def shutdown(self) -> None:
+        """Release the pool and cleanly close disk storage (checkpoint,
+        truncate the WAL, delete a temp-owned directory). The database
+        is unusable afterwards in disk mode."""
+        self.close()
+        if self.storage is not None:
+            self.storage.close()
+
+    def checkpoint(self) -> None:
+        """Force a storage checkpoint now (no-op in memory mode)."""
+        if self.storage is not None:
+            self.storage.checkpoint()
 
     # -- shard pool ---------------------------------------------------------
 
@@ -534,6 +582,8 @@ class Database:
         spawns_before = self.pool_spawns
         reuses_before = self.pool_reuses
         codegen_before = cache_stats()
+        storage_before = (self.storage.counters
+                          if self.storage is not None else None)
         plan = self.plan(query, options)
         rows = materialize(plan)
         columns = [out.name for out in plan.schema]
@@ -546,4 +596,12 @@ class Database:
         metrics.codegen_cache_hits = codegen_after[0] - codegen_before[0]
         metrics.codegen_cache_misses = codegen_after[1] - codegen_before[1]
         metrics.compile_ms = codegen_after[2] - codegen_before[2]
+        if storage_before is not None:
+            storage_after = self.storage.counters
+            metrics.pages_read = (storage_after["pages_read"]
+                                  - storage_before["pages_read"])
+            metrics.pages_evicted = (storage_after["pages_evicted"]
+                                     - storage_before["pages_evicted"])
+            metrics.wal_bytes = (storage_after["wal_bytes"]
+                                 - storage_before["wal_bytes"])
         return (ResultSet(columns, rows), metrics)

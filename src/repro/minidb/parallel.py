@@ -163,6 +163,12 @@ def _plan_payload(database: Any, payload: bytes) -> Any:
 def _worker_main(worker_id: int, database: Any,
                  tasks: "multiprocessing.Queue",
                  results: "multiprocessing.Queue") -> None:
+    storage = getattr(database, "storage", None)
+    if storage is not None:
+        # Own read-only descriptor + empty buffer pool: the worker
+        # re-reads pages honestly instead of trusting fork-copied
+        # frames, and can never write to the shared files.
+        storage.reopen_worker()
     plans: dict[bytes, Any] = {}
     while True:
         task = tasks.get()
@@ -212,6 +218,11 @@ class ShardWorkerPool:
 
     def __init__(self, database: Any, workers: int,
                  fingerprint: tuple) -> None:
+        storage = getattr(database, "storage", None)
+        if storage is not None:
+            # Workers re-read pages from the file; make sure every
+            # dirty frame is visible there before the fork happens.
+            storage.flush_for_fork()
         context = multiprocessing.get_context("fork")
         self.workers = workers
         self.fingerprint = fingerprint

@@ -1,0 +1,249 @@
+"""The heap: a table's rows as a chain of slotted pages.
+
+:class:`DiskRowStore` is the disk-mode replacement for ``Table.rows``.
+It is deliberately *list-shaped* — ``len()``, integer / slice / strided
+indexing, iteration, ``append``/``extend`` and a ``replace`` — so every
+read-only consumer in the engine (columnar transposition, statistics,
+shard morsel slicing, cache sizing via ``rows[::step]``) works unchanged
+against either backend. Only :class:`~repro.minidb.table.Table`'s
+mutation paths know the difference.
+
+Mutations write ahead first: ``extend`` / ``replace`` log one WAL
+transaction for the whole batch, then apply it to pages. The last heap
+page is mutated copy-on-write — if the current manifest references it,
+the first append after a checkpoint clones it to a fresh page id, so a
+torn flush can never damage checkpointed state.
+
+Reads go through the buffer pool one page at a time; iterating a table
+ten times the pool size keeps peak residency at the pool bound.
+
+The module also hosts the storage fault for the differential fuzzer:
+with ``REPRO_FUZZ_INJECT_BUG=storage``, decoding a heap page silently
+adds 1 to the first integer of its last row — a classic "corruption
+below the cache" bug that only shows up once a page has been evicted and
+re-read, which is exactly what the ``disk`` oracle label's tiny buffer
+pool forces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.minidb.storage.page import KIND_HEAP, SLOT_SIZE, cell_capacity
+from repro.minidb.storage.serde import decode_row, encode_row
+
+__all__ = ["DiskRowStore", "HeapPageNode"]
+
+_FAULT_ENV = "REPRO_FUZZ_INJECT_BUG"
+
+
+def _storage_fault_active() -> bool:
+    return os.environ.get(_FAULT_ENV, "") == "storage"
+
+
+class HeapPageNode:
+    """Decoded heap page: a run of row tuples plus its encoded size."""
+
+    __slots__ = ("rows", "nbytes")
+
+    def __init__(self, rows: list[tuple]) -> None:
+        self.rows = rows
+        self.nbytes = sum(len(encode_row(row)) + SLOT_SIZE for row in rows)
+
+    def encode_cells(self) -> tuple[int, list[bytes]]:
+        return KIND_HEAP, [encode_row(row) for row in self.rows]
+
+    @classmethod
+    def from_cells(cls, cells: list[bytes]) -> "HeapPageNode":
+        rows = [decode_row(cell) for cell in cells]
+        if rows and _storage_fault_active():
+            # Injected bug: perturb the first integer of the page's last
+            # row on decode. Invisible while the page stays cached;
+            # wrong the moment it is evicted and re-read.
+            last = list(rows[-1])
+            for i, value in enumerate(last):
+                if isinstance(value, int) and not isinstance(value, bool):
+                    last[i] = value + 1
+                    rows[-1] = tuple(last)
+                    break
+        return cls(rows)
+
+
+class DiskRowStore:
+    """A table's row sequence, stored page-at-a-time behind the pool."""
+
+    def __init__(self, storage: Any, table_name: str,
+                 pages: Iterable[tuple[int, int]] = ()) -> None:
+        self.storage = storage
+        self.table_name = table_name
+        #: Parallel lists: heap page ids and the row count on each.
+        self.page_ids: list[int] = []
+        self.page_counts: list[int] = []
+        #: ``starts[i]`` = global index of the first row on page i.
+        self._starts: list[int] = []
+        self.total = 0
+        for page_id, count in pages:
+            self.page_ids.append(page_id)
+            self.page_counts.append(count)
+            self._starts.append(self.total)
+            self.total += count
+
+    # -- sequence protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __eq__(self, other: object) -> bool:
+        # list-parity: a disk store equals any sequence with the same
+        # rows in the same order (memory mode compares plain lists).
+        if isinstance(other, (list, tuple, DiskRowStore)):
+            return len(self) == len(other) and list(self) == list(other)
+        return NotImplemented
+
+    def __iter__(self) -> Iterator[tuple]:
+        for page_id in self.page_ids:
+            # Holding the rows list keeps it alive even if the frame is
+            # evicted while the caller is still consuming this page.
+            yield from self.storage.pager.fetch(page_id).rows
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(self.total)
+            if step == 1:
+                return self._slice_contiguous(start, stop)
+            return [self._row_at(i) for i in range(start, stop, step)]
+        index = item
+        if index < 0:
+            index += self.total
+        if not 0 <= index < self.total:
+            raise IndexError("row index out of range")
+        return self._row_at(index)
+
+    def _page_of(self, index: int) -> int:
+        # rightmost page whose start <= index
+        lo, hi = 0, len(self._starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._starts[mid] <= index:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _row_at(self, index: int) -> tuple:
+        page = self._page_of(index)
+        node = self.storage.pager.fetch(self.page_ids[page])
+        return node.rows[index - self._starts[page]]
+
+    def _slice_contiguous(self, start: int, stop: int) -> list[tuple]:
+        if start >= stop:
+            return []
+        out: list[tuple] = []
+        page = self._page_of(start)
+        cursor = start
+        while cursor < stop and page < len(self.page_ids):
+            node = self.storage.pager.fetch(self.page_ids[page])
+            base = self._starts[page]
+            lo = cursor - base
+            hi = min(stop - base, len(node.rows))
+            out.extend(node.rows[lo:hi])
+            cursor = base + hi
+            page += 1
+        return out
+
+    # -- mutation -------------------------------------------------------
+
+    def append(self, row: tuple) -> None:
+        self.extend([row])
+
+    def extend(self, rows: Sequence[tuple]) -> None:
+        """Log one WAL transaction for the batch, then fill pages."""
+        rows = list(rows)
+        if not rows:
+            return
+        self.storage.log_append(self.table_name, rows)
+        self._apply_append(rows)
+
+    def replace(self, rows: Sequence[tuple]) -> None:
+        """Log a whole-table rewrite, then rebuild the page chain."""
+        rows = list(rows)
+        self.storage.log_replace(self.table_name, rows)
+        self._apply_replace(rows)
+
+    def _apply_append(self, rows: list[tuple]) -> None:
+        pager = self.storage.pager
+        capacity = cell_capacity(pager.page_size)
+        cursor = 0
+        # Top up the trailing page first (copy-on-write if the manifest
+        # still references it), then spill into fresh pages.
+        if self.page_ids:
+            page_id = self.page_ids[-1]
+            node = pager.fetch(page_id)
+            if node.nbytes < capacity:
+                page_id, node = self._shadow_last(page_id, node)
+                pager.pin(page_id)
+                try:
+                    cursor = self._fill(node, rows, cursor, capacity)
+                finally:
+                    pager.unpin(page_id)
+                added = len(node.rows) - self.page_counts[-1]
+                self.page_counts[-1] += added
+                self.total += added
+        while cursor < len(rows):
+            node = HeapPageNode([])
+            before = cursor
+            cursor = self._fill(node, rows, cursor, capacity)
+            if cursor == before:
+                raise StorageError(
+                    f"row of {len(encode_row(rows[cursor]))} bytes does "
+                    f"not fit a {pager.page_size}-byte page")
+            page_id = self.storage.allocate_page()
+            self._starts.append(self.total)
+            self.page_ids.append(page_id)
+            self.page_counts.append(len(node.rows))
+            self.total += len(node.rows)
+            pager.adopt(page_id, node)
+
+    @staticmethod
+    def _fill(node: HeapPageNode, rows: list[tuple], cursor: int,
+              capacity: int) -> int:
+        while cursor < len(rows):
+            size = len(encode_row(rows[cursor])) + SLOT_SIZE
+            if node.nbytes + size > capacity:
+                break  # full (or a single row larger than a page)
+            node.rows.append(rows[cursor])
+            node.nbytes += size
+            cursor += 1
+        return cursor
+
+    def _shadow_last(self, page_id: int,
+                     node: HeapPageNode) -> tuple[int, HeapPageNode]:
+        if not self.storage.page_shadowed(page_id):
+            self.storage.pager.mark_dirty(page_id)
+            return page_id, node
+        clone = HeapPageNode(list(node.rows))
+        new_id = self.storage.allocate_page()
+        self.storage.pager.adopt(new_id, clone)
+        self.storage.free_page(page_id)
+        self.page_ids[-1] = new_id
+        return new_id, clone
+
+    def _apply_replace(self, rows: list[tuple]) -> None:
+        self.free_all()
+        self._apply_append(rows)
+
+    def free_all(self) -> None:
+        """Release every heap page (table drop or whole-table rewrite)."""
+        for page_id in self.page_ids:
+            self.storage.free_page(page_id)
+        self.page_ids = []
+        self.page_counts = []
+        self._starts = []
+        self.total = 0
+
+    def manifest_pages(self) -> list[list[int]]:
+        """``[[page_id, row_count], ...]`` for the checkpoint manifest."""
+        return [[page_id, count]
+                for page_id, count in zip(self.page_ids, self.page_counts)]

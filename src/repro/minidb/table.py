@@ -13,6 +13,8 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.errors import CatalogError, SchemaError
 from repro.minidb.index import SortedIndex
 from repro.minidb.schema import TableSchema
+from repro.minidb.storage.btree import BTreeBackedIndex, DiskBTree
+from repro.minidb.storage.heap import DiskRowStore
 from repro.minidb.types import coerce_value
 
 __all__ = ["Table"]
@@ -43,10 +45,19 @@ class Table:
     after the epoch they captured, so they can patch instead of rebuild.
     """
 
-    def __init__(self, name: str, schema: TableSchema) -> None:
+    def __init__(self, name: str, schema: TableSchema,
+                 storage=None) -> None:
         self.name = name.lower()
         self.schema = schema
-        self.rows: list[tuple] = []
+        #: Disk-backed tables swap the row list for a page-backed view
+        #: with the same sequence interface; *storage* is the owning
+        #: :class:`~repro.minidb.storage.backend.DiskStorage` (or None).
+        self.storage = storage
+        if storage is not None:
+            self.rows: list[tuple] | DiskRowStore = DiskRowStore(
+                storage, self.name)
+        else:
+            self.rows = []
         self.indexes: dict[str, SortedIndex] = {}
         self.schema_epoch = 0
         self.data_epoch = 0
@@ -113,6 +124,30 @@ class Table:
                 if epoch > data_epoch]
 
     # ------------------------------------------------------------------
+    # Storage hooks
+    # ------------------------------------------------------------------
+
+    def _mutation_complete(self) -> None:
+        """Tell disk storage a mutation fully applied (rows + indexes).
+
+        This is the only point a checkpoint may trigger from: rows and
+        index entries are consistent here, so the manifest can never
+        capture a half-applied batch.
+        """
+        if self.storage is not None:
+            self.storage.mutation_complete()
+
+    def release_storage(self) -> None:
+        """Free every page this table owns (called on DROP TABLE)."""
+        if isinstance(self.rows, DiskRowStore):
+            self.rows.free_all()
+        for index in self.indexes.values():
+            if isinstance(index, BTreeBackedIndex):
+                for page_id in list(index.tree.pages):
+                    index.tree.pages.discard(page_id)
+                    self.storage.free_page(page_id)
+
+    # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
@@ -136,6 +171,7 @@ class Table:
         for index in self.indexes.values():
             key_position = self.schema.position_of(index.column)
             index.insert(row[key_position], position)
+        self._mutation_complete()
 
     def append_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Append many rows as one delta epoch; indexes patched in place.
@@ -158,6 +194,7 @@ class Table:
             index.insert_many(
                 (row[key_position], start + offset)
                 for offset, row in enumerate(fresh))
+        self._mutation_complete()
         return len(fresh)
 
     def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -165,18 +202,17 @@ class Table:
 
         Returns the number of rows loaded.
         """
-        loaded = 0
-        start = len(self.rows)
-        append = self.rows.append
         coerce = self._coerce_row
-        for values in rows:
-            append(coerce(values))
-            loaded += 1
-        if loaded:
-            self._log_append(start, loaded)
+        fresh = [coerce(values) for values in rows]
+        start = len(self.rows)
+        if fresh:
+            # One extend call = one WAL transaction on a disk table.
+            self.rows.extend(fresh)
+            self._log_append(start, len(fresh))
         for index in self.indexes.values():
             self._rebuild_index(index)
-        return loaded
+        self._mutation_complete()
+        return len(fresh)
 
     def replace_rows(self, rows: Iterable[Sequence[Any]], *,
                      coerced: bool = False) -> int:
@@ -199,11 +235,15 @@ class Table:
         else:
             coerce = self._coerce_row
             new_rows = [coerce(values) for values in rows]
-        self.rows = new_rows
+        if isinstance(self.rows, DiskRowStore):
+            self.rows.replace(new_rows)
+        else:
+            self.rows = new_rows
         self._rebase_deltas()
         self._invalidate_columnar()
         for index in self.indexes.values():
             self._rebuild_index(index)
+        self._mutation_complete()
         return len(new_rows)
 
     # ------------------------------------------------------------------
@@ -217,10 +257,16 @@ class Table:
         index_name = (name or f"idx_{self.name}_{column}").lower()
         if index_name in self.indexes:
             raise CatalogError(f"index {index_name!r} already exists")
-        index = SortedIndex(index_name, column)
+        if self.storage is not None:
+            self.storage.log_create_index(self.name, column, index_name)
+            index: SortedIndex = BTreeBackedIndex(
+                index_name, column, DiskBTree(self.storage))
+        else:
+            index = SortedIndex(index_name, column)
         self._rebuild_index(index)
         self.indexes[index_name] = index
         self.schema_epoch += 1
+        self._mutation_complete()
         return index
 
     def _rebuild_index(self, index: SortedIndex) -> None:

@@ -52,12 +52,15 @@ __all__ = ["RuleContextAnalysis", "ExpandedAnalysis", "analyze_expanded",
 #: oracle detects it and the shrinker minimizes it. Never set outside
 #: tests; the flag is read per call and defaults to off. The value
 #: ``codegen`` selects the codegen emitter's fault instead (see
-#: ``repro.minidb.codegen.pipeline``), so the two drills stay separable.
+#: ``repro.minidb.codegen.pipeline``) and ``storage`` the disk
+#: backend's page-decode fault (``repro.minidb.storage.heap``), so
+#: the drills stay separable.
 FAULT_ENV = "REPRO_FUZZ_INJECT_BUG"
 
 
 def _fault_injected() -> bool:
-    return os.environ.get(FAULT_ENV, "") not in ("", "0", "codegen")
+    return os.environ.get(FAULT_ENV, "") not in ("", "0", "codegen",
+                                             "storage")
 
 
 @dataclass

@@ -1,0 +1,40 @@
+"""Auto-generated fuzz regression (do not edit by hand).
+
+Found by: python -m repro.fuzz --seed 3 (iteration 0)
+Diverged: disk
+Shrunk to 1 rows / 1 rules / 0 query conjuncts.
+
+Reproduce interactively:
+
+    from repro.fuzz.oracle import run_case
+    import test_shrunk_seed3_iter0 as m
+    print(run_case(m._case()).summary())
+"""
+
+from repro.fuzz.cases import DimensionSpec, FuzzCase, QuerySpec
+from repro.fuzz.oracle import run_case
+
+READS_ROWS = [
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000004', 978405729, 'reader_0000_001', '0000000000010', 'step_001'),
+]
+
+RULES = [
+    "DEFINE fuzz_rule_0 ON caser CLUSTER BY epc SEQUENCE BY rtime\nAS (A, B)\nWHERE b.rtime - a.rtime < 120\nACTION MODIFY B.biz_loc = '0000060000020'",
+]
+
+QUERY = QuerySpec(
+    conjuncts=[],
+    dimensions=[
+    ],
+)
+
+
+def _case() -> FuzzCase:
+    return FuzzCase(seed=3, iteration=0,
+                    reads_rows=list(READS_ROWS), rules=list(RULES),
+                    query=QUERY)
+
+
+def test_shrunk_seed3_iter0() -> None:
+    report = run_case(_case())
+    assert report.ok, report.summary()

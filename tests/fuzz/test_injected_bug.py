@@ -65,6 +65,55 @@ def test_injected_bug_is_caught_and_shrunk(injected_fault, tmp_path,
     assert clean_report.ok, clean_report.summary()
 
 
+#: Seed 3 surfaces the storage decode fault at iteration 0: any case
+#: with at least one read row decodes a heap page after the disk
+#: label's reopen, and the perturbed trailing row diverges the bag.
+STORAGE_SEED = 3
+STORAGE_ITERATIONS = 15
+
+
+def test_storage_fault_is_caught_and_shrunk(tmp_path,
+                                            monkeypatch) -> None:
+    """``REPRO_FUZZ_INJECT_BUG=storage`` perturbs the last row of every
+    heap page on decode — corruption below the buffer pool that only
+    manifests once a page is re-read from disk. Only the ``disk`` label
+    runs that path, so it alone must catch it, and the shrunk case must
+    become a runnable regression."""
+    monkeypatch.setenv(FAULT_ENV, "storage")
+    # Pin the ambient backend to memory: under a disk-mode CI leg every
+    # label would otherwise decode corrupted pages, including the
+    # baseline, and the diff would no longer isolate the storage path.
+    monkeypatch.setenv("REPRO_STORAGE", "memory")
+    outcome = run_fuzz(FuzzConfig(seed=STORAGE_SEED,
+                                  iterations=STORAGE_ITERATIONS,
+                                  regression_dir=tmp_path))
+    assert not outcome.ok, (
+        "the fuzzer failed to catch the injected storage bug within "
+        f"{STORAGE_ITERATIONS} iterations at seed {STORAGE_SEED}")
+    failure = outcome.failures[0]
+
+    # The decode fault lives below the buffer pool; every in-memory
+    # label must have stayed clean.
+    assert failure.report.diverged_labels() == {"disk"}
+
+    rows, rules, conjuncts = failure.shrunk.size()
+    assert rows <= 10, failure.shrunk.describe()
+    assert rules == 1, failure.shrunk.describe()
+    assert conjuncts <= 1, failure.shrunk.describe()
+
+    shrunk_report = run_case(failure.shrunk)
+    assert not shrunk_report.ok
+
+    assert failure.regression_path is not None
+    assert failure.regression_path.parent == tmp_path
+    text = failure.regression_path.read_text()
+    assert "run_case" in text and "READS_ROWS" in text
+
+    monkeypatch.delenv(FAULT_ENV)
+    clean_report = run_case(failure.shrunk)
+    assert clean_report.ok, clean_report.summary()
+
+
 def test_fault_flag_off_means_no_fault(monkeypatch) -> None:
     monkeypatch.setenv(FAULT_ENV, "0")
     outcome = run_fuzz(FuzzConfig(seed=SEED, iterations=5))

@@ -1,0 +1,355 @@
+"""Storage engine unit + property tests: serde, pages, pool, B-tree.
+
+Property tests use Hypothesis over the actual minidb value domain —
+NULL, booleans, arbitrary-precision integers (INTEGER / TIMESTAMP /
+INTERVAL are all stored as Python ints), bit-exact doubles including
+NaN and infinities, and unicode strings with surrogates. (The issue's
+"Decimal" does not exist as a minidb type; DOUBLE is the only inexact
+numeric, so doubles get the bit-equality treatment instead.)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.minidb.engine import Database
+from repro.minidb.index import IndexRange, SortedIndex
+from repro.minidb.schema import TableSchema
+from repro.minidb.storage.backend import DiskStorage
+from repro.minidb.storage.btree import BTreeBackedIndex
+from repro.minidb.storage.heap import DiskRowStore
+from repro.minidb.storage.page import (
+    KIND_HEAP,
+    decode_page,
+    encode_page,
+)
+from repro.minidb.storage.serde import (
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+)
+from repro.minidb.types import SqlType
+
+READS = TableSchema.of(
+    ("id", SqlType.INTEGER), ("epc", SqlType.VARCHAR),
+    ("loc", SqlType.INTEGER), ("v", SqlType.DOUBLE),
+    ("ok", SqlType.BOOLEAN), ("rtime", SqlType.TIMESTAMP))
+
+
+def _bits(value: float) -> int:
+    return struct.unpack(">Q", struct.pack(">d", value))[0]
+
+
+# One strategy per storable value shape; TIMESTAMP/INTERVAL are ints (or
+# float intervals), so huge ints double as their coverage.
+sql_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: varint zigzag must handle any magnitude
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=60),
+)
+
+
+class TestSerde:
+    @given(sql_values)
+    @settings(max_examples=300, deadline=None)
+    def test_value_round_trip(self, value):
+        out = bytearray()
+        encode_value(out, value)
+        decoded, offset = decode_value(bytes(out), 0)
+        assert offset == len(out)
+        if isinstance(value, float):
+            assert isinstance(decoded, float)
+            assert _bits(decoded) == _bits(value)  # NaN-safe, -0.0-safe
+        else:
+            assert decoded == value
+            assert type(decoded) is type(value) or value is None
+
+    @given(st.lists(sql_values, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_row_round_trip(self, values):
+        row = tuple(values)
+        decoded = decode_row(encode_row(row))
+        assert len(decoded) == len(row)
+        for got, want in zip(decoded, row):
+            if isinstance(want, float):
+                assert _bits(got) == _bits(want)
+            else:
+                assert got == want
+
+    def test_bool_is_not_int(self):
+        # bools must survive as bools, ints as ints (True != 1 on disk).
+        assert decode_row(encode_row((True, 1, False, 0))) == \
+            (True, 1, False, 0)
+        decoded = decode_row(encode_row((True, 1)))
+        assert isinstance(decoded[0], bool)
+        assert not isinstance(decoded[1], bool)
+
+
+class TestPageCodec:
+    @given(st.lists(st.binary(max_size=40), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, cells):
+        page = encode_page(KIND_HEAP, cells, 2048)
+        assert len(page) == 2048
+        kind, decoded = decode_page(page)
+        assert kind == KIND_HEAP
+        assert decoded == cells
+
+    def test_torn_page_detected(self):
+        page = encode_page(KIND_HEAP, [b"hello", b"world"], 512)
+        torn = page[:256] + bytes(256)
+        with pytest.raises(StorageCorruptionError):
+            decode_page(torn)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(StorageError):
+            encode_page(KIND_HEAP, [bytes(600)], 512)
+
+
+@pytest.fixture()
+def disk_db(tmp_path):
+    db = Database(storage="disk",
+                  storage_path=str(tmp_path / "db"),
+                  buffer_pages=8, page_size=512)
+    yield db
+    db.shutdown()
+
+
+def _load_reads(db, count, start=0):
+    rows = [(i, f"epc{i % 13}", i % 7, i * 0.5, i % 2 == 0,
+             1_000_000 + i) for i in range(start, start + count)]
+    if "reads" not in db.catalog:
+        db.create_table("reads", READS)
+    db.load("reads", rows)
+    return rows
+
+
+class TestBufferPoolBound:
+    def test_peak_resident_never_exceeds_pool(self, disk_db):
+        """Scanning a table ~10x the pool size stays within the bound."""
+        rows = _load_reads(disk_db, 2000)
+        store = disk_db.table("reads").rows
+        assert isinstance(store, DiskRowStore)
+        pages = len(store.page_ids)
+        assert pages >= 10 * 8, f"only {pages} pages; grow the dataset"
+        pager = disk_db.storage.pager
+        for _ in range(3):
+            assert list(disk_db.table("reads").scan()) == rows
+        assert pager.peak_resident <= 8
+        assert pager.overflow_events == 0
+        assert pager.pages_read >= pages  # every page faulted at least once
+        assert pager.pages_evicted >= pager.pages_read - 8
+
+    def test_execution_metrics_expose_storage_counters(self, disk_db):
+        _load_reads(disk_db, 2000)
+        _, metrics = disk_db.execute_with_metrics(
+            "SELECT COUNT(*) AS n, SUM(loc) AS s FROM reads")
+        assert metrics.pages_read > 0
+        assert metrics.pages_evicted > 0
+        assert metrics.wal_bytes == 0  # read-only query writes no WAL
+        before = disk_db.storage.counters["wal_bytes"]
+        disk_db.append("reads", [(9_999, "epcx", 1, 0.5, True, 2)])
+        assert disk_db.storage.counters["wal_bytes"] > before
+
+    def test_strided_and_negative_indexing(self, disk_db):
+        rows = _load_reads(disk_db, 500)
+        store = disk_db.table("reads").rows
+        assert store[::7] == rows[::7]  # cache.py samples with step slices
+        assert store[-1] == rows[-1]
+        assert store[37:245] == rows[37:245]
+        assert store[245:37] == []
+        with pytest.raises(IndexError):
+            store[len(rows)]
+
+
+class TestDiskIndexParity:
+    """BTreeBackedIndex must reproduce SortedIndex behaviour exactly."""
+
+    RANGES = [
+        IndexRange(),
+        IndexRange(low="epc3"),
+        IndexRange(high="epc7", high_inclusive=False),
+        IndexRange(low="epc1", high="epc9"),
+        IndexRange(low="epc4", high="epc4"),
+        IndexRange(low="epc2", low_inclusive=False, high="epc8",
+                   high_inclusive=False),
+    ]
+
+    def _pair(self, disk_db, count=700):
+        _load_reads(disk_db, count)
+        table = disk_db.table("reads")
+        disk_index = table.create_index("epc")
+        assert isinstance(disk_index, BTreeBackedIndex)
+        memory_index = SortedIndex("m", "epc")
+        key = table.schema.position_of("epc")
+        memory_index.build((row[key], position)
+                           for position, row in enumerate(table.rows))
+        return table, disk_index, memory_index
+
+    def test_scan_and_count_parity(self, disk_db):
+        _, disk_index, memory_index = self._pair(disk_db)
+        assert len(disk_index) == len(memory_index)
+        assert disk_index.min_key() == memory_index.min_key()
+        assert disk_index.max_key() == memory_index.max_key()
+        for key_range in self.RANGES:
+            assert list(disk_index.scan(key_range)) == \
+                list(memory_index.scan(key_range))
+            assert disk_index.count(key_range) == \
+                memory_index.count(key_range)
+
+    def test_parity_survives_inserts_and_appends(self, disk_db):
+        table, disk_index, memory_index = self._pair(disk_db, 200)
+        key = table.schema.position_of("epc")
+        start = len(table.rows)
+        fresh = [(start + i, f"epc{i % 13}", 0, 0.0, True, i)
+                 for i in range(150)]
+        table.append_rows(fresh)  # insert_many path
+        memory_index.insert_many(
+            (row[key], start + offset)
+            for offset, row in enumerate(
+                table._coerce_row(r) for r in fresh))
+        table.insert((start + 150, "epc5", 0, 0.0, False, 1))
+        memory_index.insert("epc5", start + 150)
+        for key_range in self.RANGES:
+            assert list(disk_index.scan(key_range)) == \
+                list(memory_index.scan(key_range))
+        disk_index.tree.check_invariants()
+
+
+class _TreeHarness:
+    """A standalone DiskStorage + tree pair for property tests."""
+
+    def __init__(self, tmp_path, page_size=256, buffer_pages=8):
+        self.storage = DiskStorage(path=str(tmp_path),
+                                   page_size=page_size,
+                                   buffer_pages=buffer_pages, sync=False)
+        from repro.minidb.storage.btree import DiskBTree
+
+        self.tree = DiskBTree(self.storage)
+
+    def close(self):
+        self.storage.simulate_crash()  # skip checkpoint: no catalog
+
+
+class TestBTreeProperties:
+    @given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 10_000)),
+                    max_size=300))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_inserts_match_model(self, tmp_path_factory, pairs):
+        harness = _TreeHarness(tmp_path_factory.mktemp("tree"))
+        try:
+            model = SortedIndex("m", "k")
+            for key, position in pairs:
+                harness.tree.insert(key, position)
+                model.insert(key, position)
+            harness.tree.check_invariants()  # sorted, balanced, sized
+            everything = IndexRange()
+            assert list(harness.tree.scan(everything)) == \
+                list(model.scan(everything))
+            assert len(harness.tree) == len(model)
+            lo, hi = -17, 23
+            window = IndexRange(low=lo, high=hi, high_inclusive=False)
+            assert list(harness.tree.scan(window)) == \
+                list(model.scan(window))
+            assert harness.tree.count(window) == model.count(window)
+        finally:
+            harness.close()
+
+    @given(st.lists(st.tuples(st.text(max_size=8), st.integers(0, 10_000)),
+                    max_size=200))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_bulk_build_matches_sorted_insert_order(self, tmp_path_factory,
+                                                    pairs):
+        harness = _TreeHarness(tmp_path_factory.mktemp("tree"))
+        try:
+            harness.tree.build(pairs)
+            harness.tree.check_invariants()
+            model = SortedIndex("m", "k")
+            model.build(pairs)
+            assert list(harness.tree.scan(IndexRange())) == \
+                list(model.scan(IndexRange()))
+        finally:
+            harness.close()
+
+    def test_duplicate_keys_keep_insertion_order(self, tmp_path):
+        harness = _TreeHarness(tmp_path)
+        try:
+            for position in range(500):
+                harness.tree.insert("same", position)
+            harness.tree.check_invariants()
+            assert list(harness.tree.scan(IndexRange.equals("same"))) == \
+                list(range(500))
+        finally:
+            harness.close()
+
+
+class TestHeapProperties:
+    @given(st.lists(st.tuples(st.integers(), st.text(max_size=20),
+                              st.floats(allow_nan=False)),
+                    max_size=120))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_store_is_list_equivalent(self, tmp_path_factory, rows):
+        storage = DiskStorage(path=str(tmp_path_factory.mktemp("heap")),
+                              page_size=256, buffer_pages=4, sync=False)
+        try:
+            store = DiskRowStore(storage, "t")
+            half = len(rows) // 2
+            store.extend(rows[:half])
+            store.extend(rows[half:])
+            assert list(store) == rows
+            assert store == rows
+            for i in range(0, len(rows), 7):
+                assert store[i] == rows[i]
+            store.replace(rows[::-1])
+            assert list(store) == rows[::-1]
+        finally:
+            storage.simulate_crash()
+
+
+class TestKnobs:
+    def test_env_knobs_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE", "disk")
+        monkeypatch.setenv("REPRO_BUFFER_PAGES", "5")
+        monkeypatch.setenv("REPRO_PAGE_SIZE", "1024")
+        db = Database(storage_path=str(tmp_path / "db"))
+        try:
+            assert db.storage is not None
+            assert db.storage.pager.capacity == 5
+            assert db.storage.page_size == 1024
+        finally:
+            db.shutdown()
+
+    def test_existing_manifest_pins_page_size(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(storage="disk", storage_path=path, page_size=512)
+        _load_reads(db, 20)
+        db.shutdown()
+        # Reopen with a different configured size: manifest wins.
+        db2 = Database(storage="disk", storage_path=path, page_size=4096)
+        try:
+            assert db2.storage.page_size == 512
+            assert len(db2.table("reads").rows) == 20
+        finally:
+            db2.shutdown()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Database(storage="papyrus")
+
+    def test_memory_stays_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+        db = Database()
+        assert db.storage is None
+        assert isinstance(Database().catalog, type(db.catalog))
