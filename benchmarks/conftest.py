@@ -6,8 +6,8 @@ it for better-separated curves. Workbenches are session-cached through
 the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
 
 Every benchmark run also appends machine-readable results to
-``BENCH_PR7.json`` at the repo root (the per-PR successor to PR 6's
-``BENCH_PR6.json``): one wall-clock record per test, plus any
+``BENCH_PR8.json`` at the repo root (the per-PR successor to PR 7's
+``BENCH_PR7.json``): one wall-clock record per test, plus any
 :class:`ExecutionMetrics` rows a test explicitly records via the
 ``record_metrics`` fixture, all under a ``host`` block capturing the
 machine and knob configuration the numbers were taken on. The file
@@ -34,7 +34,7 @@ from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
 
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 
 #: Smoke mode: run everything once, assert correctness, skip timing bars.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
@@ -45,7 +45,8 @@ BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
 _KNOB_ENV = ("REPRO_CODEGEN", "REPRO_WORKERS", "REPRO_BATCH_SIZE",
              "REPRO_PARALLEL", "REPRO_BENCH_SCALE", "REPRO_BENCH_SMOKE",
              "REPRO_STORAGE", "REPRO_BUFFER_PAGES", "REPRO_PAGE_SIZE",
-             "REPRO_WAL_LIMIT")
+             "REPRO_WAL_LIMIT", "REPRO_GROUP_COMMIT", "REPRO_READAHEAD",
+             "REPRO_ZONE_PRUNE")
 
 
 def host_metadata() -> dict:
@@ -64,7 +65,7 @@ def host_metadata() -> dict:
 
 @pytest.fixture(scope="session")
 def bench_records():
-    """Accumulates result rows; written to BENCH_PR7.json at session end."""
+    """Accumulates result rows; written to BENCH_PR8.json at session end."""
     records = []
     yield records
     payload = {"bench_scale": BENCH_SCALE, "host": host_metadata(),

@@ -1,6 +1,7 @@
 """PR 7 acceptance benchmark: the out-of-core storage engine.
 
-Three storage-path numbers, all recorded to ``BENCH_PR7.json``:
+Three storage-path numbers, all recorded to the current per-PR results
+file (``BENCH_PR8.json``; see ``conftest.BENCH_RESULTS_PATH``):
 
 * **cold vs warm scan** — an aggregation over a freshly reopened disk
   database (every page faulted through the buffer pool and decoded)

@@ -104,11 +104,17 @@ class ExecutionMetrics:
     fused_pipelines: int = 0
     #: Disk-storage counters for the call that produced these metrics
     #: (filled in by ``execute_with_metrics``; all 0 in memory mode):
-    #: pages faulted into the buffer pool, pages evicted from it, and
-    #: WAL bytes appended (non-zero only if the call mutated tables).
+    #: pages faulted into the buffer pool, pages written back, pages
+    #: evicted from it, WAL bytes appended (non-zero only if the call
+    #: mutated tables), pages skipped by zone-map pruning, and
+    #: readahead activity (pages staged ahead / staged but never used).
     pages_read: int = 0
+    pages_written: int = 0
     pages_evicted: int = 0
     wal_bytes: int = 0
+    pages_pruned: int = 0
+    pages_prefetched: int = 0
+    prefetch_wasted: int = 0
     #: Kernel compile-cache activity and compile time for the call that
     #: produced these metrics (filled in by ``execute_with_metrics``).
     #: A plan-cache hit re-runs its kernels without touching either.
@@ -237,7 +243,9 @@ class Database:
                  storage: str | None = None,
                  storage_path: str | None = None,
                  buffer_pages: int | None = None,
-                 page_size: int | None = None) -> None:
+                 page_size: int | None = None,
+                 group_commit: object | None = None,
+                 readahead: int | None = None) -> None:
         mode = storage or os.environ.get("REPRO_STORAGE", "memory")
         if mode not in ("memory", "disk"):
             raise ValueError(
@@ -248,7 +256,9 @@ class Database:
 
             self.storage = DiskStorage(path=storage_path,
                                        buffer_pages=buffer_pages,
-                                       page_size=page_size)
+                                       page_size=page_size,
+                                       group_commit=group_commit,
+                                       readahead=readahead)
         self.catalog = Catalog(self.storage)
         if self.storage is not None:
             self.storage.open(self.catalog)
@@ -267,6 +277,12 @@ class Database:
             self.shutdown()
         except Exception:  # noqa: BLE001 — interpreter may be tearing down
             pass
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     def close(self) -> None:
         """Release the shard pool (if any); the database stays usable."""
@@ -492,12 +508,31 @@ class Database:
                          estimated_rows=plan.estimated_rows)
 
     def explain_analyze(self, query: str | SelectStmt | LogicalNode,
-                        options: PlannerOptions | None = None) -> Explained:
+                        options: PlannerOptions | None = None, *,
+                        include_storage: bool = False) -> Explained:
         """Execute *query* and return the plan annotated with actual row
-        counts (EXPLAIN ANALYZE)."""
+        counts (EXPLAIN ANALYZE).
+
+        With ``include_storage=True`` (and disk storage) the text gains
+        a trailing section with the storage-counter deltas this
+        execution caused — pages read/written/evicted/pruned, readahead
+        activity, and WAL bytes. Opt-in so the default text stays
+        byte-stable across storage modes and execution paths.
+        """
+        before = (self.storage.counters
+                  if include_storage and self.storage is not None else None)
         plan = self.plan(query, options)
         materialize(plan)
-        return Explained(plan=plan, text=plan.explain(analyze=True),
+        text = plan.explain(analyze=True)
+        if before is not None:
+            after = self.storage.counters
+            lines = [f"  {name}={after[name] - before[name]}"
+                     for name in ("pages_read", "pages_written",
+                                  "pages_evicted", "pages_pruned",
+                                  "pages_prefetched", "prefetch_hits",
+                                  "prefetch_wasted", "wal_bytes")]
+            text = "\n".join([text, "Storage:"] + lines)
+        return Explained(plan=plan, text=text,
                          estimated_cost=plan.estimated_cost,
                          estimated_rows=plan.estimated_rows)
 
@@ -598,10 +633,9 @@ class Database:
         metrics.compile_ms = codegen_after[2] - codegen_before[2]
         if storage_before is not None:
             storage_after = self.storage.counters
-            metrics.pages_read = (storage_after["pages_read"]
-                                  - storage_before["pages_read"])
-            metrics.pages_evicted = (storage_after["pages_evicted"]
-                                     - storage_before["pages_evicted"])
-            metrics.wal_bytes = (storage_after["wal_bytes"]
-                                 - storage_before["wal_bytes"])
+            for name in ("pages_read", "pages_written", "pages_evicted",
+                         "wal_bytes", "pages_pruned", "pages_prefetched",
+                         "prefetch_wasted"):
+                setattr(metrics, name,
+                        storage_after[name] - storage_before[name])
         return (ResultSet(columns, rows), metrics)

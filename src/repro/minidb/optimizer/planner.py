@@ -296,6 +296,17 @@ class Planner:
             access = SeqScan(table, node.schema)
             access.estimated_rows = base_rows
             access.estimated_cost = self._cost.seq_scan(base_rows)
+            # Zone-map pruning specs: every ``col op literal`` conjunct
+            # lets a disk-backed scan skip pages whose min/max disprove
+            # it. Attribute-only (no tree-shape change), so shard walk
+            # indices and the plan cache stay valid; zones are consulted
+            # at execution time.
+            access.prune = [
+                (node.schema.resolve(ref.qualifier, ref.name), op, value)
+                for ref, op, value in
+                (self._parse_range_conjunct(c, node) or (None,) * 3
+                 for c in conjuncts)
+                if ref is not None]
         if not residual:
             return access
         predicate = and_all(residual)
@@ -327,8 +338,8 @@ class Planner:
             parsed = self._parse_range_conjunct(conjunct, node)
             if parsed is None:
                 continue
-            column, op, value = parsed
-            by_column.setdefault(column, []).append((conjunct, op, value))
+            ref, op, value = parsed
+            by_column.setdefault(ref.name, []).append((conjunct, op, value))
         best = None
         for column, entries in by_column.items():
             index = node.table.index_on(column)
@@ -385,7 +396,7 @@ class Planner:
         value = SelectivityEstimator._as_literal(right)
         if value is None:
             return None
-        return left.name, op, value
+        return left, op, value
 
     def _lower_filter(self, node: LogicalFilter) -> PhysicalNode:
         conjuncts = split_conjuncts(node.predicate)

@@ -38,6 +38,8 @@ from repro.errors import ExecutionError
 from repro.minidb.expressions import BatchBound, Expr
 from repro.minidb.index import IndexRange, SortedIndex
 from repro.minidb.plan.planschema import PlanSchema
+from repro.minidb.storage.heap import DiskRowStore
+from repro.minidb.storage.zones import pruning_enabled
 from repro.minidb.table import Table
 from repro.minidb.types import sort_key_column
 from repro.minidb.vector import (
@@ -191,13 +193,48 @@ class SeqScan(PhysicalNode):
     always None in serial plans.
     """
 
-    __slots__ = ('table', 'shard')
+    __slots__ = ('table', 'shard', 'prune')
 
     def __init__(self, table: Table, schema: PlanSchema) -> None:
         super().__init__()
         self.table = table
         self.schema = schema
         self.shard: tuple | None = None
+        #: Zone-pruning conjuncts ``(column position, op, literal)``
+        #: attached by the planner; consulted only for disk-backed
+        #: tables, where page zone maps can disprove whole pages.
+        self.prune: list[tuple] = []
+
+    def _pruned_source(self):
+        """Page runs surviving zone pruning, or None when inapplicable.
+
+        Both the scalar and the batch path route through this, so the
+        two execute identically (same pages skipped, same actual_rows)
+        and EXPLAIN ANALYZE parity between them is preserved.
+        """
+        if not self.prune or not pruning_enabled():
+            return None
+        store = self.table.rows
+        if not isinstance(store, DiskRowStore):
+            return None
+        return store.pruned_pages(self.prune)
+
+    def _pruned_rows(self, pages) -> Iterator[list]:
+        """Per-page row runs from *pages*, shard-restricted."""
+        shard = self.shard
+        for start, rows in pages:
+            if shard is None:
+                selected = rows
+            elif shard[0] == "block":
+                _, lo, hi = shard
+                selected = rows[max(0, lo - start):
+                                max(0, hi - start)]
+            else:
+                _, position, values = shard
+                selected = [row for row in rows
+                            if row[position] in values]
+            if selected:
+                yield selected
 
     def _shard_rows(self) -> Iterator[tuple]:
         kind = self.shard[0]
@@ -211,6 +248,13 @@ class SeqScan(PhysicalNode):
                 yield row
 
     def scalar_rows(self) -> Iterator[tuple]:
+        pages = self._pruned_source()
+        if pages is not None:
+            for selected in self._pruned_rows(pages):
+                for row in selected:
+                    self.actual_rows += 1
+                    yield row
+            return
         source = self.table.rows if self.shard is None \
             else self._shard_rows()
         for row in source:
@@ -219,6 +263,20 @@ class SeqScan(PhysicalNode):
 
     def batches(self, size: int | None = None) -> Iterator[RowBatch]:
         size = _resolve_batch_size(size)
+        pages = self._pruned_source()
+        if pages is not None:
+            # Transpose surviving page runs directly instead of going
+            # through ``columnar()``: the column cache would fetch every
+            # page and defeat the pruning.
+            pending: list[tuple] = []
+            for selected in self._pruned_rows(pages):
+                pending.extend(selected)
+                while len(pending) >= size:
+                    chunk, pending = pending[:size], pending[size:]
+                    yield self._row_chunk_batch(chunk)
+            if pending:
+                yield self._row_chunk_batch(pending)
+            return
         columns = self.table.columnar()
         if self.shard is not None:
             yield from self._shard_batches(columns, size)
@@ -229,6 +287,12 @@ class SeqScan(PhysicalNode):
             self.actual_rows += hi - lo
             self.actual_batches += 1
             yield RowBatch([column[lo:hi] for column in columns], hi - lo)
+
+    def _row_chunk_batch(self, chunk: list[tuple]) -> RowBatch:
+        self.actual_rows += len(chunk)
+        self.actual_batches += 1
+        return RowBatch([list(column) for column in zip(*chunk)],
+                        len(chunk))
 
     def _shard_batches(self, columns: list[list],
                        size: int) -> Iterator[RowBatch]:

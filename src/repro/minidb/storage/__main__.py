@@ -1,0 +1,77 @@
+"""Storage inspection CLI: ``python -m repro.minidb.storage stat <dir>``.
+
+Reads the database directory's files directly — MANIFEST.json, the page
+file, and the WAL — without opening (and therefore without recovering)
+the database, so it is safe to point at a directory left behind by a
+crash. Reported numbers describe the last durable checkpoint; a
+non-empty WAL means recovery would replay on top of them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_USAGE = "usage: python -m repro.minidb.storage stat <database-dir>"
+
+
+def _file_size(path: str) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def stat(directory: str) -> str:
+    """Human-readable storage report for *directory*."""
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    lines = [f"database directory: {directory}"]
+    data_size = _file_size(os.path.join(directory, "data.pages"))
+    wal_size = _file_size(os.path.join(directory, "wal.log"))
+    if not os.path.exists(manifest_path):
+        lines.append("no MANIFEST.json (fresh or never checkpointed)")
+        lines.append(f"data.pages: {data_size} bytes")
+        lines.append(f"wal.log: {wal_size} bytes")
+        return "\n".join(lines)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    page_size = manifest["page_size"]
+    free_pages = manifest.get("free_pages", [])
+    zones = manifest.get("zones", {})
+    lines.append(f"checkpoint epoch: {manifest['epoch']}")
+    lines.append(f"page size: {page_size} bytes")
+    lines.append(f"next page id: {manifest['next_page_id']}")
+    lines.append(f"data.pages: {data_size} bytes "
+                 f"({data_size // page_size if page_size else 0} pages)")
+    lines.append(f"free list: {len(free_pages)} pages")
+    lines.append(f"wal.log: {wal_size} bytes"
+                 + (" (recovery would replay)" if wal_size else ""))
+    live = 0
+    for name, entry in sorted(manifest.get("tables", {}).items()):
+        heap = len(entry.get("heap_pages", []))
+        index_pages = sum(len(spec.get("pages", []))
+                          for spec in entry.get("indexes", {}).values())
+        live += heap + index_pages
+        rows = sum(count for _, count in entry.get("heap_pages", []))
+        lines.append(f"table {name}: {rows} rows, {heap} heap pages, "
+                     f"{len(entry.get('indexes', {}))} indexes "
+                     f"({index_pages} pages)")
+    coverage = f"{len(zones)}/{live}" if live else "0/0"
+    lines.append(f"zone maps: {coverage} live pages covered")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[0] != "stat":
+        print(_USAGE, file=sys.stderr)
+        return 2
+    if not os.path.isdir(argv[1]):
+        print(f"not a directory: {argv[1]}", file=sys.stderr)
+        return 2
+    print(stat(argv[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

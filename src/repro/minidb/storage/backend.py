@@ -98,7 +98,9 @@ class DiskStorage:
     def __init__(self, path: str | None = None,
                  buffer_pages: int | None = None,
                  page_size: int | None = None, sync: bool = True,
-                 checkpoint_bytes: int | None = None) -> None:
+                 checkpoint_bytes: int | None = None,
+                 group_commit: object | None = None,
+                 readahead: int | None = None) -> None:
         self.owns_dir = path is None
         self.path = path or tempfile.mkdtemp(prefix="minidb-")
         os.makedirs(self.path, exist_ok=True)
@@ -115,9 +117,10 @@ class DiskStorage:
         capacity = (buffer_pages if buffer_pages is not None
                     else configured_buffer_pages())
         self.pager = Pager(os.path.join(self.path, _DATA), self.page_size,
-                           capacity, _decode_node)
+                           capacity, _decode_node, readahead=readahead)
         self.wal = walmod.WriteAheadLog(os.path.join(self.path, _WAL),
-                                        sync=sync)
+                                        sync=sync,
+                                        group_commit=group_commit)
         self.catalog: "Catalog | None" = None
         self.epoch = 0
         self.manifest_epoch = 0
@@ -128,7 +131,16 @@ class DiskStorage:
         #: Referenced by the current manifest; reusable only after the
         #: *next* checkpoint stops referencing them.
         self._retired: list[int] = []
+        #: Per-page zone maps (heap min/max/null, B-tree leaf bounds),
+        #: maintained at write time, persisted in the manifest.
+        self.zones: dict[int, list] = {}
+        #: Pages skipped by zone-map pruning (scans + index range scans).
+        self.pages_pruned = 0
         self.checkpoints = 0
+        #: Compaction work: checkpoint passes that moved pages, and the
+        #: total number of page relocations.
+        self.compactions = 0
+        self.pages_moved = 0
         self.replaying = False
         self.readonly = False
         self.dead = False
@@ -145,6 +157,7 @@ class DiskStorage:
 
     def free_page(self, page_id: int) -> None:
         self.pager.discard(page_id)
+        self.zones.pop(page_id, None)
         if page_id in self.manifest_pages:
             self._retired.append(page_id)
         else:
@@ -199,20 +212,115 @@ class DiskStorage:
     # -- checkpoint -----------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Make the current state the durable baseline, truncate the WAL."""
+        """Make the current state the durable baseline, truncate the WAL.
+
+        A checkpoint also runs the online compaction pass: tail pages are
+        relocated into free slots so the trailing run of free pages can
+        be truncated off ``data.pages``. Move targets come only from
+        ``_free_now`` — retired pages are still referenced by the current
+        manifest (WAL replay may read them), so they become candidates
+        one checkpoint later. The relocated copies land on pages no
+        recovery path reads, which keeps a crash at ``compaction-move``
+        exactly as recoverable as one at ``checkpoint-before-manifest``.
+        """
         if self.dead or self.readonly or self.pager.closed:
             return
         self.pager.flush_all(sync=self.sync)
         faults.crash_point("checkpoint-before-manifest")
-        manifest = self._build_manifest()
+        moves, free_after, next_after = self._plan_compaction()
+        if moves:
+            self._apply_moves(moves)
+            self.pager.flush_all(sync=self.sync)
+            faults.crash_point("compaction-move")
+            self.compactions += 1
+            self.pages_moved += len(moves)
+        manifest = self._build_manifest(free_after, next_after)
         self._write_manifest(manifest)
         faults.crash_point("checkpoint-after-manifest")
         self.wal.truncate()
+        if next_after < self.next_page_id:
+            self.pager.truncate(next_after)
+        self.next_page_id = next_after
         self.manifest_epoch = self.epoch
         self.manifest_pages = set(self._live_pages())
-        self._free_now.extend(self._retired)
+        self._free_now = free_after
         self._retired = []
         self.checkpoints += 1
+
+    def _plan_compaction(self) -> tuple[list[tuple[int, int]],
+                                        list[int], int]:
+        """``(moves, free_after, next_after)`` for this checkpoint.
+
+        Pairs the highest live page ids with the lowest ``_free_now``
+        holes (only while the hole is below the mover), then trims the
+        trailing run of free ids off the end of the address space.
+        ``free_after`` is the post-move free list (consumed holes out,
+        vacated originals and retirees in, tail trimmed); ``next_after``
+        is the new page count for ``data.pages``.
+        """
+        free_set = {*self._free_now, *self._retired}
+        targets = sorted(self._free_now)
+        movers = sorted(self._live_pages(), reverse=True)
+        moves: list[tuple[int, int]] = []
+        cursor = 0
+        for mover in movers:
+            if cursor >= len(targets) or targets[cursor] >= mover:
+                break
+            moves.append((mover, targets[cursor]))
+            free_set.discard(targets[cursor])
+            free_set.add(mover)
+            cursor += 1
+        next_after = self.next_page_id
+        while next_after > 0 and (next_after - 1) in free_set:
+            free_set.discard(next_after - 1)
+            next_after -= 1
+        return moves, sorted(free_set), next_after
+
+    def _apply_moves(self, moves: list[tuple[int, int]]) -> None:
+        """Relocate pages per *moves* and rewrite every reference."""
+        assert self.catalog is not None
+        mapping = dict(moves)
+        pager = self.pager
+        for old_id, new_id in moves:
+            node = pager.fetch(old_id)
+            pager.discard(old_id)
+            pager.adopt(new_id, node)
+            zone = self.zones.pop(old_id, None)
+            if zone is not None:
+                self.zones[new_id] = zone
+        for table in self.catalog:
+            store = table.rows
+            if isinstance(store, DiskRowStore):
+                store.page_ids = [mapping.get(page_id, page_id)
+                                  for page_id in store.page_ids]
+            for index in table.indexes.values():
+                if isinstance(index, BTreeBackedIndex):
+                    self._remap_tree(index.tree, mapping)
+
+    def _remap_tree(self, tree: DiskBTree,
+                    mapping: dict[int, int]) -> None:
+        tree.pages = {mapping.get(page_id, page_id)
+                      for page_id in tree.pages}
+        if tree.root is None:
+            return
+        tree.root = mapping.get(tree.root, tree.root)
+        self._remap_children(tree.root, mapping)
+
+    def _remap_children(self, page_id: int,
+                        mapping: dict[int, int]) -> None:
+        node = self.pager.fetch(page_id)
+        if not isinstance(node, InnerNode):
+            return
+        changed = False
+        for slot, child in enumerate(node.children):
+            new_id = mapping.get(child, child)
+            if new_id != child:
+                node.children[slot] = new_id
+                changed = True
+        if changed:
+            self.pager.mark_dirty(page_id)
+        for child in node.children:
+            self._remap_children(child, mapping)
 
     def _live_pages(self) -> Iterator[int]:
         assert self.catalog is not None
@@ -224,7 +332,8 @@ class DiskStorage:
                 if isinstance(index, BTreeBackedIndex):
                     yield from index.tree.pages
 
-    def _build_manifest(self) -> dict:
+    def _build_manifest(self, free: list[int] | None = None,
+                        next_page_id: int | None = None) -> dict:
         assert self.catalog is not None
         tables: dict = {}
         for table in self.catalog:
@@ -250,13 +359,19 @@ class DiskStorage:
                 "heap_pages": store.manifest_pages(),
                 "indexes": indexes,
             }
-        free = sorted({*self._free_now, *self._retired})
+        if free is None:
+            free = sorted({*self._free_now, *self._retired})
         return {
             "epoch": self.epoch,
             "page_size": self.page_size,
-            "next_page_id": self.next_page_id,
+            "next_page_id": (self.next_page_id if next_page_id is None
+                             else next_page_id),
             "free_pages": free,
             "tables": tables,
+            # Zone values are JSON-safe by construction (unsummarizable
+            # bounds are stored as null, see zones._summarizable).
+            "zones": {str(page_id): zone
+                      for page_id, zone in self.zones.items()},
         }
 
     def _write_manifest(self, manifest: dict) -> None:
@@ -315,6 +430,9 @@ class DiskStorage:
         self.next_page_id = manifest["next_page_id"]
         self._free_now = list(manifest["free_pages"])
         self._retired = []
+        self.zones = {int(page_id): zone
+                      for page_id, zone in
+                      manifest.get("zones", {}).items()}
         live: set[int] = set()
         for name, entry in manifest["tables"].items():
             schema = TableSchema(
@@ -432,5 +550,13 @@ class DiskStorage:
             "overflow_events": pager.overflow_events,
             "wal_bytes": self.wal.bytes_written,
             "wal_commits": self.wal.commits,
+            "wal_syncs": self.wal.syncs,
+            "group_syncs": self.wal.group_syncs,
             "checkpoints": self.checkpoints,
+            "pages_pruned": self.pages_pruned,
+            "pages_prefetched": pager.pages_prefetched,
+            "prefetch_hits": pager.prefetch_hits,
+            "prefetch_wasted": pager.prefetch_wasted,
+            "compactions": self.compactions,
+            "pages_moved": self.pages_moved,
         }

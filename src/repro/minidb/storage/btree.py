@@ -43,6 +43,7 @@ from repro.minidb.storage.serde import (
     read_varint,
     write_varint,
 )
+from repro.minidb.storage.zones import leaf_zone, pruning_enabled
 
 __all__ = ["BTreeBackedIndex", "DiskBTree", "LeafNode", "InnerNode"]
 
@@ -185,6 +186,17 @@ class DiskBTree:
     def _capacity(self) -> int:
         return cell_capacity(self.storage.pager.page_size)
 
+    def _note_leaf(self, page_id: int, node: LeafNode) -> None:
+        """Record (or clear) the zone-map entry for a mutated leaf."""
+        zones = getattr(self.storage, "zones", None)
+        if zones is None:
+            return
+        zone = leaf_zone(node.keys)
+        if zone is None:
+            zones.pop(page_id, None)
+        else:
+            zones[page_id] = zone
+
     def _shadow(self, page_id: int, node: Any) -> tuple[int, Any]:
         """A mutable (id, node) for the page, cloning when shadowed."""
         if not self.storage.page_shadowed(page_id):
@@ -193,6 +205,8 @@ class DiskBTree:
         clone = node.clone()
         new_id = self._adopt(clone)
         self._free(page_id)
+        if isinstance(clone, LeafNode):
+            self._note_leaf(new_id, clone)
         return new_id, clone
 
     # -- mutation -------------------------------------------------------
@@ -203,7 +217,9 @@ class DiskBTree:
         self.next_seq += 1
         self.entry_count += 1
         if self.root is None:
-            self.root = self._adopt(LeafNode([key], [seq], [position]))
+            root = LeafNode([key], [seq], [position])
+            self.root = self._adopt(root)
+            self._note_leaf(self.root, root)
             return
         self._insert_entry(key, seq, position)
 
@@ -243,6 +259,7 @@ class DiskBTree:
             node.seqs.insert(slot, seq)
             node.positions.insert(slot, position)
             node.nbytes += len(_encode_entry(key, seq, position)) + SLOT_SIZE
+            self._note_leaf(node_id, node)
             self._split_upward(node_id, node, path, pinned)
         finally:
             for page_id in pinned:
@@ -276,6 +293,7 @@ class DiskBTree:
                 node.nbytes -= right.nbytes
                 sep_key = right.keys[0]
                 sep_seq = right.seqs[0]
+                self._note_leaf(node_id, node)
             else:
                 mid = len(node.sep_keys) // 2
                 sep_key = node.sep_keys[mid]
@@ -290,6 +308,8 @@ class DiskBTree:
                     len(cell) + SLOT_SIZE
                     for cell in node.encode_cells()[1])
             right_id = self._adopt(right)
+            if isinstance(right, LeafNode):
+                self._note_leaf(right_id, right)
             pager.pin(right_id)
             pinned.append(right_id)
             if path:
@@ -353,7 +373,9 @@ class DiskBTree:
             node = LeafNode([e[0] for e in leaf_entries],
                             [e[1] for e in leaf_entries],
                             [e[2] for e in leaf_entries])
-            level.append((self._adopt(node), leaf_entries[0][0],
+            leaf_id = self._adopt(node)
+            self._note_leaf(leaf_id, node)
+            level.append((leaf_id, leaf_entries[0][0],
                           leaf_entries[0][1]))
             leaf_entries = []
             size = 0
@@ -437,8 +459,15 @@ class DiskBTree:
             while stack:
                 parent, next_idx = stack.pop()
                 if next_idx < len(parent.children):
+                    child_id = parent.children[next_idx]
+                    if high is not None and self._leaf_beyond(
+                            child_id, high, high_inclusive):
+                        # Entries ascend globally: once a leaf's zone
+                        # starts beyond the bound, every later leaf does
+                        # too — stop without fetching it.
+                        return
                     stack.append((parent, next_idx + 1))
-                    node = self._fetch(parent.children[next_idx])
+                    node = self._fetch(child_id)
                     while isinstance(node, InnerNode):
                         stack.append((node, 1))
                         node = self._fetch(node.children[0])
@@ -446,6 +475,23 @@ class DiskBTree:
             if node is None:
                 return
             start = 0
+
+    def _leaf_beyond(self, page_id: int, high: Any,
+                     inclusive: bool) -> bool:
+        """Whether *page_id*'s leaf zone proves it starts past *high*."""
+        if not pruning_enabled():
+            return False
+        zones = getattr(self.storage, "zones", None)
+        zone = None if zones is None else zones.get(page_id)
+        if not zone or zone[0] != "l":
+            return False
+        try:
+            beyond = zone[1] > high if inclusive else zone[1] >= high
+        except TypeError:
+            return False
+        if beyond:
+            self.storage.pages_pruned += 1
+        return beyond
 
     def scan(self, key_range: IndexRange) -> Iterator[int]:
         for _, _, position in self._iter_entries(key_range):
