@@ -34,7 +34,7 @@ from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
 
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 
 #: Smoke mode: run everything once, assert correctness, skip timing bars.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
@@ -46,7 +46,8 @@ _KNOB_ENV = ("REPRO_CODEGEN", "REPRO_WORKERS", "REPRO_BATCH_SIZE",
              "REPRO_PARALLEL", "REPRO_BENCH_SCALE", "REPRO_BENCH_SMOKE",
              "REPRO_STORAGE", "REPRO_BUFFER_PAGES", "REPRO_PAGE_SIZE",
              "REPRO_WAL_LIMIT", "REPRO_GROUP_COMMIT", "REPRO_READAHEAD",
-             "REPRO_ZONE_PRUNE")
+             "REPRO_ZONE_PRUNE", "REPRO_SERVE_WORKERS",
+             "REPRO_SERVE_INFLIGHT", "REPRO_SERVE_SESSION_DEPTH")
 
 
 def host_metadata() -> dict:

@@ -56,6 +56,10 @@ class ExecutionError(MiniDbError):
     """A runtime failure while executing a physical plan."""
 
 
+class SnapshotError(MiniDbError):
+    """An MVCC snapshot was used after release or outside its scope."""
+
+
 class StorageError(MiniDbError):
     """The on-disk storage engine hit an invalid format or state."""
 

@@ -47,6 +47,13 @@ path and diffs canonicalized row bags against the naive strategy
                           on-disk representation with the fast-path
                           machinery live; counters must prove pages
                           faulted through the pool
+``served``                the cleansed query executed over the wire: a
+                          loopback ``repro.server`` session declares
+                          the case's rules in HELLO and runs the query
+                          through the asyncio front end, the bounded
+                          executor, and two JSON frame round trips —
+                          framing, value encoding, and the serving
+                          execution path must all preserve the answer
 ========================  =============================================
 
 The baseline itself is computed with batch execution disabled
@@ -89,7 +96,7 @@ __all__ = ["ALL_LABELS", "Divergence", "OracleReport", "run_case",
 ALL_LABELS = ("expanded", "joinback", "chosen", "cached-cold",
               "cached-warm", "cached-invalidated", "eager", "plan-cache",
               "parallel", "vectorized", "compiled", "sharded",
-              "incremental", "disk")
+              "incremental", "disk", "served")
 
 _READS_SCHEMA = TableSchema.of(
     ("epc", SqlType.VARCHAR),
@@ -491,4 +498,24 @@ def run_case(case: FuzzCase,
         return result
 
     compare("disk", disk)
+
+    def served() -> tuple[tuple, ...]:
+        # Wire replay: host the case's database behind a loopback
+        # server, declare the cleansing rules in HELLO, and run the
+        # cleansed query through the full serving stack — frame
+        # encode/decode both ways, the session worker, admission
+        # control, and the executor's exclusive cleansed path. The
+        # rows crossing the wire as JSON must restore byte-identically.
+        from repro.server import ServerClient, serve_loopback
+
+        serve_db, _ = build_database(case)
+        try:
+            with serve_loopback(serve_db) as handle, \
+                    ServerClient(*handle.address) as client:
+                client.hello(rules=list(case.rules))
+                return client.query(sql, cleansed=True).canonical()
+        finally:
+            serve_db.shutdown()
+
+    compare("served", served)
     return report

@@ -1,0 +1,96 @@
+"""Registry of every ``REPRO_*`` environment knob the library reads.
+
+Knobs are plain environment variables scattered across subsystems
+(vectorization, codegen, storage, the shard pool, the server, the bench
+harness). A typo — ``REPRO_WORKER=2`` instead of ``REPRO_WORKERS=2`` —
+used to silently configure nothing; :func:`validate_environment` makes
+it fail loudly instead: any ``REPRO_``-prefixed variable not in
+:data:`KNOWN_KNOBS` triggers a one-shot :class:`UnknownKnobWarning`.
+
+The check runs automatically on the first ``Database`` construction and
+at server startup. Tests promote the warning to an error via pytest's
+``filterwarnings``, so a typo'd knob in CI or a test environment is a
+hard failure, not a silently-default run.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["KNOWN_KNOBS", "UnknownKnobWarning", "validate_environment"]
+
+
+class UnknownKnobWarning(UserWarning):
+    """An environment variable looks like a repro knob but is not one."""
+
+
+#: Every recognised knob, with a one-line summary (kept in sync with the
+#: README's configuration table; the README test-ability of this dict is
+#: why it is data, not a comment).
+KNOWN_KNOBS: dict[str, str] = {
+    "REPRO_SCALE": "experiments CLI dataset scale factor",
+    "REPRO_BATCH_SIZE": "vectorized batch size (0 = tuple-at-a-time)",
+    "REPRO_VECTOR_FALLBACK": "count batch-kernel scalar fallbacks",
+    "REPRO_CODEGEN": "enable fused-kernel query compilation",
+    "REPRO_CODEGEN_DUMP": "directory to dump generated kernel source",
+    "REPRO_WORKERS": "shard-pool worker count (0 disables)",
+    "REPRO_PARALLEL": "deprecated alias for REPRO_WORKERS",
+    "REPRO_STORAGE": "default storage mode: memory or disk",
+    "REPRO_BUFFER_PAGES": "buffer-pool capacity in pages",
+    "REPRO_PAGE_SIZE": "on-disk page size in bytes",
+    "REPRO_WAL_LIMIT": "WAL bytes before an auto-checkpoint",
+    "REPRO_GROUP_COMMIT": "WAL group-commit window (0/off disables)",
+    "REPRO_READAHEAD": "buffer-pool readahead depth in pages",
+    "REPRO_ZONE_PRUNE": "zone-map scan pruning (default on)",
+    "REPRO_STORAGE_CRASH": "crash-injection fault point name",
+    "REPRO_FUZZ_INJECT_BUG": "fuzz-oracle self-test fault name",
+    "REPRO_BENCH_SCALE": "benchmark dataset scale factor",
+    "REPRO_BENCH_SMOKE": "shrink benchmarks to CI smoke size",
+    "REPRO_SERVE_WORKERS": "server executor workers (0 = threads only)",
+    "REPRO_SERVE_INFLIGHT": "server max in-flight queries before shed",
+    "REPRO_SERVE_SESSION_DEPTH": "per-session outstanding-request limit",
+}
+
+#: One-shot latch: the environment is validated once per process (knob
+#: sets do not change mid-run; repeated Database construction must not
+#: spam warnings).
+_validated = False
+
+
+def validate_environment(*, force: bool = False) -> list[str]:
+    """Warn once about unrecognised ``REPRO_*`` environment variables.
+
+    Returns the (sorted) list of unknown names found, whether or not
+    the warning fired — callers that want a hard error can raise on a
+    non-empty return. *force* re-runs the scan even if it already ran
+    (tests use this; production callers never need it).
+    """
+    global _validated
+    unknown = sorted(
+        name for name in os.environ
+        if name.startswith("REPRO_") and name not in KNOWN_KNOBS)
+    if _validated and not force:
+        return unknown
+    _validated = True
+    if unknown:
+        suggestions = []
+        for name in unknown:
+            closest = _closest_knob(name)
+            hint = f" (did you mean {closest}?)" if closest else ""
+            suggestions.append(f"{name}{hint}")
+        warnings.warn(
+            "unknown REPRO_* environment knob(s): "
+            + ", ".join(suggestions)
+            + " — see repro.knobs.KNOWN_KNOBS for the recognised set",
+            UnknownKnobWarning, stacklevel=2)
+    return unknown
+
+
+def _closest_knob(name: str) -> str | None:
+    """The known knob most similar to *name*, if any is close enough."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, KNOWN_KNOBS, n=1,
+                                        cutoff=0.8)
+    return matches[0] if matches else None

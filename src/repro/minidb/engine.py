@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import knobs
 from repro.minidb import parallel
 from repro.minidb.catalog import Catalog
 from repro.minidb.codegen import CompiledSpineOp, cache_stats, codegen_enabled
@@ -246,11 +247,16 @@ class Database:
                  page_size: int | None = None,
                  group_commit: object | None = None,
                  readahead: int | None = None) -> None:
+        # Attributes __del__/__exit__ touch are assigned before anything
+        # that can raise, so shutdown() is safe after a failed __init__.
+        self.storage = None
+        self._shard_pool: parallel.ShardWorkerPool | None = None
+        self._storage_closed = False
+        knobs.validate_environment()
         mode = storage or os.environ.get("REPRO_STORAGE", "memory")
         if mode not in ("memory", "disk"):
             raise ValueError(
                 f"unknown storage mode {mode!r} (memory or disk)")
-        self.storage = None
         if mode == "disk":
             from repro.minidb.storage.backend import DiskStorage
 
@@ -266,7 +272,6 @@ class Database:
         self.cost_model = CostModel()
         self.options = options or PlannerOptions()
         self.plan_cache = PreparedPlanCache(plan_cache_size)
-        self._shard_pool: parallel.ShardWorkerPool | None = None
         #: Lifetime shard-pool counters; the pool-reuse invariant ("one
         #: spawn per database state, not per query") is pinned on these.
         self.pool_spawns = 0
@@ -286,22 +291,47 @@ class Database:
 
     def close(self) -> None:
         """Release the shard pool (if any); the database stays usable."""
-        pool, self._shard_pool = self._shard_pool, None
+        pool = getattr(self, "_shard_pool", None)
+        self._shard_pool = None
         if pool is not None:
             pool.close()
 
     def shutdown(self) -> None:
         """Release the pool and cleanly close disk storage (checkpoint,
         truncate the WAL, delete a temp-owned directory). The database
-        is unusable afterwards in disk mode."""
+        is unusable afterwards in disk mode.
+
+        Idempotent, and safe to call on a partially constructed instance
+        (``__exit__``/``__del__`` after a failed ``__init__``): every
+        attribute touched here is assigned before ``__init__`` can
+        raise, and the storage backend is closed exactly once.
+        """
         self.close()
-        if self.storage is not None:
-            self.storage.close()
+        storage = getattr(self, "storage", None)
+        if storage is not None and not getattr(self, "_storage_closed",
+                                               True):
+            self._storage_closed = True
+            storage.close()
 
     def checkpoint(self) -> None:
         """Force a storage checkpoint now (no-op in memory mode)."""
         if self.storage is not None:
             self.storage.checkpoint()
+
+    def snapshot(self, *, plan_cache: PreparedPlanCache | None = None):
+        """Pin a consistent MVCC read view over every table.
+
+        The returned :class:`~repro.minidb.snapshot.Snapshot` sees
+        exactly the current (schema_epoch, data_epoch, stats) per table:
+        concurrent :meth:`append` calls land invisibly, and a
+        ``replace_rows``/``drop_table`` detaches the pinned versions
+        onto frozen copies. Use it as a context manager (or call
+        ``release()``) so pinned epochs can retire. *plan_cache* lets a
+        serving session reuse prepared plans across its snapshots.
+        """
+        from repro.minidb.snapshot import Snapshot
+
+        return Snapshot(self, plan_cache=plan_cache)
 
     # -- shard pool ---------------------------------------------------------
 

@@ -39,6 +39,28 @@ class IndexRange:
     def equals(cls, key: Any) -> "IndexRange":
         return cls(low=key, high=key)
 
+    def contains(self, key: Any) -> bool:
+        """Whether *key* falls inside the range (NULL never matches).
+
+        Mirrors the index semantics exactly: NULL keys are excluded from
+        indexes, so a range probe can never return them. Used by the
+        detached-snapshot fallback, which filters frozen rows directly
+        instead of consulting a (live, too-new) index.
+        """
+        if key is None:
+            return False
+        if self.low is not None:
+            if key < self.low:
+                return False
+            if key == self.low and not self.low_inclusive:
+                return False
+        if self.high is not None:
+            if key > self.high:
+                return False
+            if key == self.high and not self.high_inclusive:
+                return False
+        return True
+
     def __repr__(self) -> str:
         left = "[" if self.low_inclusive else "("
         right = "]" if self.high_inclusive else ")"
@@ -51,32 +73,53 @@ class SortedIndex:
     The index is built once over the full table (or rebuilt after bulk
     loads); point inserts keep it sorted incrementally. Row positions
     refer to offsets in the owning table's row list.
+
+    Concurrency: the entry arrays live behind a single ``_data`` tuple
+    that mutating batch operations (:meth:`build`, :meth:`insert_many` —
+    the streaming-ingest paths) replace wholesale instead of editing in
+    place. A reader that captures the tuple once therefore sees a
+    complete, internally consistent index from some epoch: either
+    without or with the whole appended batch, never a half-merged mix.
+    Combined with a snapshot's position bound (appended positions are
+    simply skipped) this makes index scans safe against concurrent
+    ingest without a lock. Single-row :meth:`insert` still edits in
+    place and remains writer-side only.
     """
 
     def __init__(self, name: str, column: str) -> None:
         self.name = name
         self.column = column
-        self._keys: list[Any] = []
-        self._positions: list[int] = []
+        #: ``(keys, positions)`` parallel arrays; replaced atomically by
+        #: batch mutations, never partially updated.
+        self._data: tuple[list[Any], list[int]] = ([], [])
+
+    @property
+    def _keys(self) -> list[Any]:
+        return self._data[0]
+
+    @property
+    def _positions(self) -> list[int]:
+        return self._data[1]
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._data[0])
 
     def build(self, keyed_positions: Iterable[tuple[Any, int]]) -> None:
         """(Re)build the index from ``(key, position)`` pairs."""
         pairs = sorted(
             (pair for pair in keyed_positions if pair[0] is not None),
             key=lambda pair: pair[0])
-        self._keys = [key for key, _ in pairs]
-        self._positions = [position for _, position in pairs]
+        self._data = ([key for key, _ in pairs],
+                      [position for _, position in pairs])
 
     def insert(self, key: Any, position: int) -> None:
-        """Insert one entry, keeping the index sorted."""
+        """Insert one entry, keeping the index sorted (in place)."""
         if key is None:
             return
-        slot = bisect.bisect_right(self._keys, key)
-        self._keys.insert(slot, key)
-        self._positions.insert(slot, position)
+        keys, positions = self._data
+        slot = bisect.bisect_right(keys, key)
+        keys.insert(slot, key)
+        positions.insert(slot, position)
 
     def insert_many(self, keyed_positions: Iterable[tuple[Any, int]]) -> None:
         """Merge a batch of entries, keeping the index sorted.
@@ -85,18 +128,20 @@ class SortedIndex:
         after existing equal keys, and after earlier-batch equal keys),
         but via a single linear merge instead of k O(n) list inserts —
         the append path for streaming ingest, where rebuilding the whole
-        index per trickle would dominate.
+        index per trickle would dominate. The merged arrays are
+        published by swapping ``_data``, so concurrent readers never see
+        a partial merge.
         """
         fresh = sorted(
             (pair for pair in keyed_positions if pair[0] is not None),
             key=lambda pair: pair[0])
         if not fresh:
             return
-        if not self._keys:
-            self._keys = [key for key, _ in fresh]
-            self._positions = [position for _, position in fresh]
+        old_keys, old_positions = self._data
+        if not old_keys:
+            self._data = ([key for key, _ in fresh],
+                          [position for _, position in fresh])
             return
-        old_keys, old_positions = self._keys, self._positions
         merged_keys: list[Any] = []
         merged_positions: list[int] = []
         cursor = 0
@@ -111,37 +156,46 @@ class SortedIndex:
             cursor = stop
         merged_keys.extend(old_keys[cursor:])
         merged_positions.extend(old_positions[cursor:])
-        self._keys = merged_keys
-        self._positions = merged_positions
+        self._data = (merged_keys, merged_positions)
 
-    def _bounds(self, key_range: IndexRange) -> tuple[int, int]:
+    @staticmethod
+    def _bounds_in(keys: list[Any],
+                   key_range: IndexRange) -> tuple[int, int]:
         if key_range.low is None:
             start = 0
         elif key_range.low_inclusive:
-            start = bisect.bisect_left(self._keys, key_range.low)
+            start = bisect.bisect_left(keys, key_range.low)
         else:
-            start = bisect.bisect_right(self._keys, key_range.low)
+            start = bisect.bisect_right(keys, key_range.low)
         if key_range.high is None:
-            stop = len(self._keys)
+            stop = len(keys)
         elif key_range.high_inclusive:
-            stop = bisect.bisect_right(self._keys, key_range.high)
+            stop = bisect.bisect_right(keys, key_range.high)
         else:
-            stop = bisect.bisect_left(self._keys, key_range.high)
+            stop = bisect.bisect_left(keys, key_range.high)
         return start, max(stop, start)
+
+    def _bounds(self, key_range: IndexRange) -> tuple[int, int]:
+        return self._bounds_in(self._data[0], key_range)
 
     def scan(self, key_range: IndexRange) -> Iterator[int]:
         """Yield row positions whose key falls in *key_range*, key order."""
-        start, stop = self._bounds(key_range)
+        # One capture of the published arrays = one consistent epoch.
+        keys, positions = self._data
+        start, stop = self._bounds_in(keys, key_range)
         for slot in range(start, stop):
-            yield self._positions[slot]
+            yield positions[slot]
 
     def count(self, key_range: IndexRange) -> int:
         """Exact number of entries in *key_range* (no row access)."""
-        start, stop = self._bounds(key_range)
+        keys, _ = self._data
+        start, stop = self._bounds_in(keys, key_range)
         return stop - start
 
     def min_key(self) -> Any:
-        return self._keys[0] if self._keys else None
+        keys, _ = self._data
+        return keys[0] if keys else None
 
     def max_key(self) -> Any:
-        return self._keys[-1] if self._keys else None
+        keys, _ = self._data
+        return keys[-1] if keys else None

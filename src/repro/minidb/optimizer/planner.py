@@ -373,8 +373,12 @@ class Planner:
             return None
         index, key_range, used, matching = best
         # An index scan that matches nearly everything is slower than a
-        # sequential scan; fall back in that case.
-        if matching > 0.8 * max(len(node.table), 1):
+        # sequential scan; fall back in that case. The comparison uses
+        # the statistics row count (like every other estimate), not the
+        # live list length — under pinned snapshot statistics the live
+        # table may already be longer, and the plan choice must be
+        # reproducible from the pinned state alone.
+        if matching > 0.8 * max(self._table_rows(node), 1.0):
             return None
         return index, key_range, used
 

@@ -174,7 +174,8 @@ def _worker_main(worker_id: int, database: Any,
         task = tasks.get()
         if task is None:
             return
-        task_id, payload, segment_index, shard_spec, batch_size = task
+        (task_id, payload, segment_index, shard_spec, batch_size,
+         visible_count) = task
         try:
             root = plans.get(payload)
             if root is None:
@@ -186,11 +187,17 @@ def _worker_main(worker_id: int, database: Any,
             scan = segment_scan(segment)
             segment.reset_metrics()
             scan.shard = shard_spec
+            # Snapshot dispatches bound the scan to the pinned row
+            # prefix; the worker's fork copy always holds at least that
+            # many rows (the pool fingerprint includes table versions,
+            # so a pool never predates the snapshot's epoch).
+            scan.visible_count = visible_count
             try:
                 with forced_batch_size(batch_size):
                     rows = materialize(segment)
             finally:
                 scan.shard = None
+                scan.visible_count = None
             stats = [(node.actual_rows, node.actual_batches,
                       getattr(node, "input_rows", 0),
                       getattr(node, "sorted_rows", 0))

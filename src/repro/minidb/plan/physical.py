@@ -32,6 +32,7 @@ Each operator carries:
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ExecutionError
@@ -191,9 +192,18 @@ class SeqScan(PhysicalNode):
     ``("block", lo, hi)`` or a key-value set ``("key", position,
     values)``. Pool workers set it around each morsel execution; it is
     always None in serial plans.
+
+    ``visible_count``/``visible_rows`` pin the scan to an MVCC
+    snapshot (see ``minidb.snapshot``). With ``visible_count`` set the
+    scan reads only positions below the bound — appends only extend
+    the row store, so the bounded prefix is exactly the pinned epoch.
+    ``visible_rows`` additionally redirects the scan to a frozen row
+    prefix when the live store was rewritten (``replace_rows``/drop)
+    after the snapshot was pinned. Both are None for live execution.
     """
 
-    __slots__ = ('table', 'shard', 'prune')
+    __slots__ = ('table', 'shard', 'prune', 'visible_count',
+                 'visible_rows')
 
     def __init__(self, table: Table, schema: PlanSchema) -> None:
         super().__init__()
@@ -204,15 +214,28 @@ class SeqScan(PhysicalNode):
         #: attached by the planner; consulted only for disk-backed
         #: tables, where page zone maps can disprove whole pages.
         self.prune: list[tuple] = []
+        self.visible_count: int | None = None
+        self.visible_rows = None
+
+    def _source_rows(self):
+        """The row sequence this scan reads (live store or frozen)."""
+        if self.visible_rows is not None:
+            return self.visible_rows
+        return self.table.rows
 
     def _pruned_source(self):
         """Page runs surviving zone pruning, or None when inapplicable.
 
         Both the scalar and the batch path route through this, so the
         two execute identically (same pages skipped, same actual_rows)
-        and EXPLAIN ANALYZE parity between them is preserved.
+        and EXPLAIN ANALYZE parity between them is preserved. Detached
+        snapshots never use live pages: the frozen prefix is a plain
+        list, so pruning is skipped rather than consulting pages that
+        may already describe rewritten data.
         """
         if not self.prune or not pruning_enabled():
+            return None
+        if self.visible_rows is not None:
             return None
         store = self.table.rows
         if not isinstance(store, DiskRowStore):
@@ -220,9 +243,17 @@ class SeqScan(PhysicalNode):
         return store.pruned_pages(self.prune)
 
     def _pruned_rows(self, pages) -> Iterator[list]:
-        """Per-page row runs from *pages*, shard-restricted."""
+        """Per-page row runs from *pages*, snapshot- and shard-restricted."""
         shard = self.shard
+        bound = self.visible_count
         for start, rows in pages:
+            if bound is not None:
+                # Page start offsets are stable under append, so the
+                # snapshot bound clips each run positionally.
+                if start >= bound:
+                    continue
+                if start + len(rows) > bound:
+                    rows = rows[:bound - start]
             if shard is None:
                 selected = rows
             elif shard[0] == "block":
@@ -236,14 +267,17 @@ class SeqScan(PhysicalNode):
             if selected:
                 yield selected
 
-    def _shard_rows(self) -> Iterator[tuple]:
+    def _shard_rows(self, rows, bound: int | None) -> Iterator[tuple]:
         kind = self.shard[0]
         if kind == "block":
             _, lo, hi = self.shard
-            yield from self.table.rows[lo:hi]
+            if bound is not None:
+                hi = min(hi, bound)
+            yield from rows[lo:hi]
             return
         _, position, values = self.shard
-        for row in self.table.rows:
+        source = rows if bound is None else islice(iter(rows), bound)
+        for row in source:
             if row[position] in values:
                 yield row
 
@@ -255,8 +289,17 @@ class SeqScan(PhysicalNode):
                     self.actual_rows += 1
                     yield row
             return
-        source = self.table.rows if self.shard is None \
-            else self._shard_rows()
+        rows = self._source_rows()
+        bound = self.visible_count
+        if self.shard is not None:
+            source = self._shard_rows(rows, bound)
+        elif bound is None:
+            source = rows
+        else:
+            # Never iterate the live store unbounded under a snapshot:
+            # list iterators observe concurrent appends, so the bound
+            # must be enforced even when it equals len(rows) right now.
+            source = islice(iter(rows), bound)
         for row in source:
             self.actual_rows += 1
             yield row
@@ -277,16 +320,52 @@ class SeqScan(PhysicalNode):
             if pending:
                 yield self._row_chunk_batch(pending)
             return
-        columns = self.table.columnar()
-        if self.shard is not None:
-            yield from self._shard_batches(columns, size)
+        if self.visible_rows is not None:
+            yield from self._frozen_batches(size)
             return
-        total = len(self.table.rows)
+        columns = self.table.columnar()
+        bound = self.visible_count
+        if self.shard is not None:
+            yield from self._shard_batches(columns, size, bound)
+            return
+        total = len(self.table.rows) if bound is None else bound
         for lo in range(0, total, size):
             hi = min(lo + size, total)
             self.actual_rows += hi - lo
             self.actual_batches += 1
             yield RowBatch([column[lo:hi] for column in columns], hi - lo)
+
+    def _frozen_batches(self, size: int) -> Iterator[RowBatch]:
+        """Batch path over a detached snapshot's frozen row prefix.
+
+        The frozen prefix is a plain row list from a retired epoch, so
+        the columnar cache (which reflects the live store) cannot be
+        used; rows are transposed per chunk instead, shard-restricted
+        the same way the live paths are.
+        """
+        rows = self.visible_rows
+        total = len(rows)
+        if self.visible_count is not None:
+            total = min(total, self.visible_count)
+        if self.shard is None:
+            for lo in range(0, total, size):
+                chunk = rows[lo:min(lo + size, total)]
+                if chunk:
+                    yield self._row_chunk_batch(chunk)
+            return
+        if self.shard[0] == "block":
+            _, shard_lo, shard_hi = self.shard
+            shard_hi = min(shard_hi, total)
+            for lo in range(shard_lo, shard_hi, size):
+                chunk = rows[lo:min(lo + size, shard_hi)]
+                if chunk:
+                    yield self._row_chunk_batch(chunk)
+            return
+        _, position, values = self.shard
+        selected = [row for row in rows[:total]
+                    if row[position] in values]
+        for lo in range(0, len(selected), size):
+            yield self._row_chunk_batch(selected[lo:lo + size])
 
     def _row_chunk_batch(self, chunk: list[tuple]) -> RowBatch:
         self.actual_rows += len(chunk)
@@ -294,11 +373,13 @@ class SeqScan(PhysicalNode):
         return RowBatch([list(column) for column in zip(*chunk)],
                         len(chunk))
 
-    def _shard_batches(self, columns: list[list],
-                       size: int) -> Iterator[RowBatch]:
+    def _shard_batches(self, columns: list[list], size: int,
+                       bound: int | None) -> Iterator[RowBatch]:
         kind = self.shard[0]
         if kind == "block":
             _, shard_lo, shard_hi = self.shard
+            if bound is not None:
+                shard_hi = min(shard_hi, bound)
             for lo in range(shard_lo, shard_hi, size):
                 hi = min(lo + size, shard_hi)
                 self.actual_rows += hi - lo
@@ -308,6 +389,8 @@ class SeqScan(PhysicalNode):
             return
         _, position, values = self.shard
         key_column = columns[position] if columns else []
+        if bound is not None:
+            key_column = key_column[:bound]
         selected = [i for i, value in enumerate(key_column)
                     if value in values]
         for lo in range(0, len(selected), size):
@@ -323,9 +406,22 @@ class SeqScan(PhysicalNode):
 
 
 class IndexRangeScan(PhysicalNode):
-    """Range scan through a sorted index; output is ordered by the key."""
+    """Range scan through a sorted index; output is ordered by the key.
 
-    __slots__ = ('table', 'index', 'key_range')
+    ``visible_count``/``visible_rows`` pin the scan to an MVCC
+    snapshot, mirroring :class:`SeqScan`. With only ``visible_count``
+    set, index entries at positions past the bound (appended after the
+    pin) are skipped — the index yields in key order, so later
+    positions are interleaved and must be filtered, not truncated.
+    With ``visible_rows`` set (the store was rewritten after the pin)
+    the live index no longer describes the frozen prefix, so the scan
+    filters and sorts the frozen rows directly, reproducing the index's
+    output order exactly: equal keys come out in position order both
+    ways (``bisect_right`` insertion and a stable sort agree).
+    """
+
+    __slots__ = ('table', 'index', 'key_range', 'visible_count',
+                 'visible_rows')
 
     def __init__(self, table: Table, schema: PlanSchema,
                  index: SortedIndex, key_range: IndexRange) -> None:
@@ -336,18 +432,48 @@ class IndexRangeScan(PhysicalNode):
         self.key_range = key_range
         key_position = table.schema.position_of(index.column)
         self.ordering = ((key_position, True),)
+        self.visible_count: int | None = None
+        self.visible_rows = None
+
+    def _detached_rows(self) -> list[tuple]:
+        key_position = self.table.schema.position_of(self.index.column)
+        source = islice(iter(self.visible_rows), self.visible_count)
+        selected = [row for row in source
+                    if self.key_range.contains(row[key_position])]
+        selected.sort(key=lambda row: row[key_position])
+        return selected
 
     def scalar_rows(self) -> Iterator[tuple]:
+        if self.visible_rows is not None:
+            for row in self._detached_rows():
+                self.actual_rows += 1
+                yield row
+            return
         table_rows = self.table.rows
+        bound = self.visible_count
         for position in self.index.scan(self.key_range):
+            if bound is not None and position >= bound:
+                continue
             self.actual_rows += 1
             yield table_rows[position]
 
     def batches(self, size: int | None = None) -> Iterator[RowBatch]:
         size = _resolve_batch_size(size)
+        if self.visible_rows is not None:
+            rows = self._detached_rows()
+            for lo in range(0, len(rows), size):
+                chunk = rows[lo:lo + size]
+                self.actual_rows += len(chunk)
+                self.actual_batches += 1
+                yield RowBatch([list(column) for column in zip(*chunk)],
+                               len(chunk))
+            return
         columns = self.table.columnar()
+        bound = self.visible_count
         chunk: list[int] = []
         for position in self.index.scan(self.key_range):
+            if bound is not None and position >= bound:
+                continue
             chunk.append(position)
             if len(chunk) >= size:
                 yield self._gather(columns, chunk)

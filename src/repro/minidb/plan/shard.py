@@ -167,14 +167,19 @@ def _shard_key(path: list[PhysicalNode]) -> tuple[str, int | None] | None:
 
 
 def build_morsels(table: Any, mode: str, key_position: int | None,
-                  workers: int) -> list[tuple]:
+                  workers: int, bound: int | None = None) -> list[tuple]:
     """Shard specs covering *table* exactly once, in merge order.
 
     Block mode yields ``("block", lo, hi)`` row ranges; key mode yields
     ``("key", position, value_set)`` chunks of ascending distinct key
-    values balanced by row count.
+    values balanced by row count. *bound* restricts the morsels to the
+    first *bound* rows — the snapshot-visible prefix — so dispatched
+    work covers exactly what a serial bounded scan would read and the
+    merged output (and per-morsel counters) match frozen-copy execution.
     """
     total = len(table.rows)
+    if bound is not None:
+        total = min(total, bound)
     if total == 0:
         return []
     target_count = max(1, workers * MORSELS_PER_WORKER)
@@ -183,6 +188,8 @@ def build_morsels(table: Any, mode: str, key_position: int | None,
         return [("block", lo, min(lo + chunk, total))
                 for lo in range(0, total, chunk)]
     column = table.columnar()[key_position]
+    if len(column) > total:
+        column = column[:total]
     counts: dict[Any, int] = {}
     for value in column:
         counts[value] = counts.get(value, 0) + 1
@@ -251,19 +258,27 @@ class ExchangeOp(PhysicalNode):
         database = self.database
         if database is None or self.payload is None:
             return None
-        table = segment_scan(self.child).table
-        if len(table.rows) < SHARD_ROW_THRESHOLD:
+        scan = segment_scan(self.child)
+        if scan.visible_rows is not None:
+            # Detached snapshot: the frozen row prefix exists only in
+            # this process; forked workers read the (rewritten) live
+            # store, so parallel dispatch would be wrong. Run serially.
+            return None
+        table = scan.table
+        bound = scan.visible_count
+        visible = len(table.rows) if bound is None else bound
+        if visible < SHARD_ROW_THRESHOLD:
             return None
         pool = database.shard_pool()
         if pool is None:
             return None
         morsels = build_morsels(table, self.mode, self.key_position,
-                                pool.workers)
+                                pool.workers, bound)
         if not morsels:
             return None
         batch_size = configured_batch_size()
         tasks = [(index, self.payload, self.segment_index, morsel,
-                  batch_size)
+                  batch_size, bound)
                  for index, morsel in enumerate(morsels)]
         try:
             results = pool.dispatch(tasks)

@@ -101,6 +101,14 @@ class DiskStorage:
                  checkpoint_bytes: int | None = None,
                  group_commit: object | None = None,
                  readahead: int | None = None) -> None:
+        # Assigned before anything that can raise, so close() on a
+        # partially constructed instance (a failed __init__ reached via
+        # Database.__exit__/__del__) has a consistent base state.
+        self.pager = None
+        self.wal = None
+        self.catalog: "Catalog | None" = None
+        self.dead = False
+        self.readonly = False
         self.owns_dir = path is None
         self.path = path or tempfile.mkdtemp(prefix="minidb-")
         os.makedirs(self.path, exist_ok=True)
@@ -121,7 +129,6 @@ class DiskStorage:
         self.wal = walmod.WriteAheadLog(os.path.join(self.path, _WAL),
                                         sync=sync,
                                         group_commit=group_commit)
-        self.catalog: "Catalog | None" = None
         self.epoch = 0
         self.manifest_epoch = 0
         self.next_page_id = 0
@@ -142,8 +149,6 @@ class DiskStorage:
         self.compactions = 0
         self.pages_moved = 0
         self.replaying = False
-        self.readonly = False
-        self.dead = False
         self._manifest_cache = manifest
 
     # -- page allocation ------------------------------------------------
@@ -223,7 +228,8 @@ class DiskStorage:
         recovery path reads, which keeps a crash at ``compaction-move``
         exactly as recoverable as one at ``checkpoint-before-manifest``.
         """
-        if self.dead or self.readonly or self.pager.closed:
+        if self.dead or self.readonly or self.catalog is None \
+                or self.pager is None or self.pager.closed:
             return
         self.pager.flush_all(sync=self.sync)
         faults.crash_point("checkpoint-before-manifest")
@@ -524,15 +530,24 @@ class DiskStorage:
         self.wal.abandon()
 
     def close(self) -> None:
-        """Checkpoint and release; deletes the directory if temp-owned."""
-        if self.dead or self.readonly or self.pager.closed:
-            if self.readonly:
-                self.pager.close(sync=False)
-                self.wal.close()
+        """Checkpoint and release; deletes the directory if temp-owned.
+
+        Safe on any state: a partially constructed instance (pager or
+        WAL never created), a never-opened one (no catalog attached —
+        checkpointing is skipped, nothing to persist), a crashed one,
+        and repeated calls are all no-ops for the missing pieces.
+        """
+        pager, wal = self.pager, self.wal
+        if self.dead or self.readonly or pager is None or pager.closed:
+            if self.readonly and pager is not None:
+                pager.close(sync=False)
+                if wal is not None:
+                    wal.close()
             return
         self.checkpoint()
-        self.pager.close(sync=self.sync)
-        self.wal.close()
+        pager.close(sync=self.sync)
+        if wal is not None:
+            wal.close()
         if self.owns_dir:
             shutil.rmtree(self.path, ignore_errors=True)
 

@@ -8,6 +8,7 @@ never re-check types.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import CatalogError, SchemaError
@@ -17,13 +18,58 @@ from repro.minidb.storage.btree import BTreeBackedIndex, DiskBTree
 from repro.minidb.storage.heap import DiskRowStore
 from repro.minidb.types import coerce_value
 
-__all__ = ["Table"]
+__all__ = ["Table", "TableVersion"]
 
 # Bounded delta history: once more appends than this have happened since
 # the oldest un-truncated epoch, the log's floor rises and older readers
 # fall back to full invalidation. 256 epochs comfortably covers any
 # realistic trickle between two queries while bounding memory to a few KB.
 _DELTA_LOG_LIMIT = 256
+
+
+class TableVersion:
+    """A refcounted, immutable view of one table at one data epoch.
+
+    MVCC for an append-mostly store: appends only ever *extend* the row
+    sequence, so a version is usually just a bound — ``row_count`` rows
+    of the live store, read by position. Positions below the bound are
+    stable across any number of concurrent appends, which is what lets
+    readers run without blocking ingest.
+
+    A whole-table rewrite (``replace_rows``) breaks position stability;
+    before applying one, the table *detaches* every live version by
+    materializing its row prefix into ``frozen_rows``. Readers switch to
+    the frozen copy transparently; the copy is released when the last
+    pin drains (``Table.release_version``).
+    """
+
+    __slots__ = ("table", "schema_epoch", "data_epoch", "row_count",
+                 "refcount", "frozen_rows")
+
+    def __init__(self, table: "Table", schema_epoch: int, data_epoch: int,
+                 row_count: int) -> None:
+        self.table = table
+        self.schema_epoch = schema_epoch
+        self.data_epoch = data_epoch
+        self.row_count = row_count
+        self.refcount = 0
+        #: Materialized row prefix, set only when the version had to be
+        #: detached from the live store (see ``Table._detach_pinned``).
+        #: May hold more than ``row_count`` rows (memory mode retains
+        #: the superseded list object wholesale); readers always bound
+        #: by ``row_count``.
+        self.frozen_rows: Sequence[tuple] | None = None
+
+    @property
+    def detached(self) -> bool:
+        """True when this version no longer reads the live row store."""
+        return self.frozen_rows is not None
+
+    def __repr__(self) -> str:
+        state = "detached" if self.detached else "live"
+        return (f"TableVersion({self.table.name!r}, "
+                f"epoch={self.data_epoch}, rows={self.row_count}, "
+                f"refs={self.refcount}, {state})")
 
 
 class Table:
@@ -68,6 +114,14 @@ class Table:
         self._delta_floor = 0
         self._columns: list[list] | None = None
         self._columns_rows = 0
+        # Pinned snapshot versions by data epoch. Pinning the same epoch
+        # twice shares one TableVersion (refcounted); the registry only
+        # holds versions with live pins.
+        self._pinned: dict[int, TableVersion] = {}
+        # Guards the columnar cache's lazy build/extension: two readers
+        # (or a reader racing ingest) must not extend the same column
+        # lists concurrently.
+        self._columnar_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -106,6 +160,64 @@ class Table:
         self._delta_log.clear()
         self._delta_floor = self.data_epoch
 
+    # ------------------------------------------------------------------
+    # MVCC snapshot versions
+    # ------------------------------------------------------------------
+
+    def pin_version(self) -> TableVersion:
+        """Pin the current data epoch as an immutable read view.
+
+        Cheap: no rows are copied. Concurrent appends extend the store
+        past the pinned ``row_count`` without disturbing it; a
+        ``replace_rows`` rewrite detaches the version onto a frozen copy
+        first. Must be balanced by :meth:`release_version`.
+        """
+        version = self._pinned.get(self.data_epoch)
+        if version is None:
+            version = TableVersion(self, self.schema_epoch,
+                                   self.data_epoch, len(self.rows))
+            self._pinned[self.data_epoch] = version
+        version.refcount += 1
+        return version
+
+    def release_version(self, version: TableVersion) -> None:
+        """Drop one pin; the version retires when its refcount drains."""
+        version.refcount -= 1
+        if version.refcount > 0:
+            return
+        current = self._pinned.get(version.data_epoch)
+        if current is version:
+            del self._pinned[version.data_epoch]
+        # Retire: release any frozen copy a rewrite forced us to keep.
+        version.frozen_rows = None
+
+    def pinned_versions(self) -> list[TableVersion]:
+        """Currently pinned versions (observability / tests)."""
+        return list(self._pinned.values())
+
+    def _detach_pinned(self) -> None:
+        """Freeze live pinned versions before a position-breaking rewrite.
+
+        Memory mode retains the superseded row-list object itself (zero
+        copy — ``replace_rows`` swaps in a brand-new list, so the old one
+        is never mutated again). Disk mode must materialize rows out of
+        the heap pages before ``DiskRowStore.replace`` frees them; the
+        longest prefix is copied once and shared.
+        """
+        live = [version for version in self._pinned.values()
+                if version.frozen_rows is None]
+        if not live:
+            return
+        if isinstance(self.rows, DiskRowStore):
+            longest = max(version.row_count for version in live)
+            prefix = self.rows[0:longest]
+            for version in live:
+                version.frozen_rows = prefix
+        else:
+            rows = self.rows
+            for version in live:
+                version.frozen_rows = rows
+
     def delta_since(self, data_epoch: int) -> list[tuple[int, int]] | None:
         """Row ranges appended after *data_epoch*, or None if unknowable.
 
@@ -139,6 +251,8 @@ class Table:
 
     def release_storage(self) -> None:
         """Free every page this table owns (called on DROP TABLE)."""
+        # Pinned snapshot readers survive the drop on frozen copies.
+        self._detach_pinned()
         if isinstance(self.rows, DiskRowStore):
             self.rows.free_all()
         for index in self.indexes.values():
@@ -235,6 +349,9 @@ class Table:
         else:
             coerce = self._coerce_row
             new_rows = [coerce(values) for values in rows]
+        # Rewrites break position stability; pinned snapshot versions
+        # must be frozen onto copies before the store is touched.
+        self._detach_pinned()
         if isinstance(self.rows, DiskRowStore):
             self.rows.replace(new_rows)
         else:
@@ -311,19 +428,27 @@ class Table:
         tail rows are transposed), and only full rewrites
         (``replace_rows``) evict it. Callers must not mutate the returned
         lists (batch columns are shared, never written in place).
+
+        Build/extension happens under a lock: concurrent snapshot
+        readers (or a reader racing ingest) must not double-extend the
+        shared column lists. Columns only ever *grow* between rewrites,
+        so a reader that bounds its slices by a pinned row count sees a
+        stable prefix regardless of concurrent extension.
         """
-        if self._columns is None:
-            if self.rows:
-                self._columns = [list(column) for column in zip(*self.rows)]
-            else:
-                self._columns = [[] for _ in self.schema]
-            self._columns_rows = len(self.rows)
-        elif self._columns_rows < len(self.rows):
-            tail = self.rows[self._columns_rows:]
-            for position, column in enumerate(self._columns):
-                column.extend(row[position] for row in tail)
-            self._columns_rows = len(self.rows)
-        return self._columns
+        with self._columnar_lock:
+            if self._columns is None:
+                if self.rows:
+                    self._columns = [list(column)
+                                     for column in zip(*self.rows)]
+                else:
+                    self._columns = [[] for _ in self.schema]
+                self._columns_rows = len(self.rows)
+            elif self._columns_rows < len(self.rows):
+                tail = self.rows[self._columns_rows:]
+                for position, column in enumerate(self._columns):
+                    column.extend(row[position] for row in tail)
+                self._columns_rows = len(self.rows)
+            return self._columns
 
     def column_values(self, name: str) -> Iterator[Any]:
         """Yield the values of one column across all rows."""

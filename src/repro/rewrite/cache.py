@@ -237,7 +237,10 @@ class RegionEntry:
 
     #: The reads table the region was cleansed from.
     source_table: Table
-    #: ``source_table.version`` at materialization time.
+    #: ``source_table.version`` at materialization time (observability;
+    #: staleness is decided on ``source_data_epoch`` alone, so schema-only
+    #: changes such as CREATE INDEX never invalidate a cleansed region —
+    #: cleansing depends on row data, not on access paths).
     source_version: int
     #: Ordered names of the rules applied (registry creation order).
     rule_key: tuple[str, ...]
@@ -332,7 +335,10 @@ class CleansingRegionCache:
             or catalog.table(name) is not entry.source_table
 
     def _is_stale(self, entry: RegionEntry) -> bool:
-        if entry.source_table.version != entry.source_version:
+        # Epoch-pinned: only *data* epochs matter. A schema-only change
+        # (CREATE INDEX bumps schema_epoch, hence version) cannot alter
+        # what Φ_C(σ_ec(R)) evaluates to, so the region stays servable.
+        if entry.source_table.data_epoch != entry.source_data_epoch:
             return True
         return self._is_orphaned(entry)
 

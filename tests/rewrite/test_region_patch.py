@@ -149,16 +149,20 @@ class TestPatchDecision:
             sorted(plain.execute(wide).rows)
         assert cached.region_cache.stores == 1  # never re-materialized
 
-    def test_schema_only_staleness_refreshes_without_recleansing(self):
-        # An index creation bumps the version but appends no rows: the
-        # patch path refreshes the entry's stamps with zero re-cleansing.
+    def test_schema_only_staleness_stays_warm(self):
+        # An index creation bumps the schema epoch but appends no rows:
+        # staleness is keyed on the *data* epoch, so the entry is not
+        # even considered stale — it serves warm with zero patching and
+        # zero re-cleansing.
         db, cached, plain = make_engines(base_rows())
         cached.execute(SQL)
         db.create_index("r", "biz_loc")
         result, metrics, _ = cached.execute_with_metrics(SQL)
         assert sorted(result.rows) == sorted(plain.execute(SQL).rows)
-        assert metrics.cache_patches == 1
+        assert metrics.cache_patches == 0
         assert metrics.sequences_recleaned == 0
+        assert cached.region_cache.invalidations == 0
+        assert cached.region_cache.stores == 1  # never re-materialized
 
 
 class TestDirectCacheLookup:
