@@ -6,13 +6,14 @@ it for better-separated curves. Workbenches are session-cached through
 the experiment harness, mirroring the paper's pre-loaded db-10..db-40.
 
 Every benchmark run also appends machine-readable results to
-``BENCH_PR8.json`` at the repo root (the per-PR successor to PR 7's
-``BENCH_PR7.json``): one wall-clock record per test, plus any
-:class:`ExecutionMetrics` rows a test explicitly records via the
-``record_metrics`` fixture, all under a ``host`` block capturing the
-machine and knob configuration the numbers were taken on. The file
-tracks the perf trajectory across PRs without having to parse
-pytest-benchmark output.
+``BENCH_PR10.json`` at the repo root (the per-PR successor to PR 9's
+``BENCH_PR9.json``): one wall-clock record per test — stamped with the
+process's peak heap bytes (``ru_maxrss``) so memory regressions show
+up next to timing ones — plus any :class:`ExecutionMetrics` rows a
+test explicitly records via the ``record_metrics`` fixture, all under
+a ``host`` block capturing the machine and knob configuration the
+numbers were taken on. The file tracks the perf trajectory across PRs
+without having to parse pytest-benchmark output.
 
 ``REPRO_BENCH_SMOKE=1`` switches the suite to a correctness smoke run:
 iteration counts drop to the minimum and timing-ratio assertions are
@@ -24,6 +25,7 @@ import dataclasses
 import json
 import os
 import platform
+import resource
 import sys
 import time
 from pathlib import Path
@@ -34,7 +36,7 @@ from repro.experiments.common import ExperimentSettings, workbench_for
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
 
-BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 #: Smoke mode: run everything once, assert correctness, skip timing bars.
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
@@ -43,6 +45,7 @@ BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
 #: recorded number can always be tied back to the configuration that
 #: produced it.
 _KNOB_ENV = ("REPRO_CODEGEN", "REPRO_WORKERS", "REPRO_BATCH_SIZE",
+             "REPRO_ENCODE",
              "REPRO_PARALLEL", "REPRO_BENCH_SCALE", "REPRO_BENCH_SMOKE",
              "REPRO_STORAGE", "REPRO_BUFFER_PAGES", "REPRO_PAGE_SIZE",
              "REPRO_WAL_LIMIT", "REPRO_GROUP_COMMIT", "REPRO_READAHEAD",
@@ -66,7 +69,7 @@ def host_metadata() -> dict:
 
 @pytest.fixture(scope="session")
 def bench_records():
-    """Accumulates result rows; written to BENCH_PR8.json at session end."""
+    """Accumulates result rows; written to BENCH_PR10.json at session end."""
     records = []
     yield records
     payload = {"bench_scale": BENCH_SCALE, "host": host_metadata(),
@@ -80,10 +83,15 @@ def _record_wallclock(request, bench_records):
     """Wall-clock for every benchmark test, including fixture-free ones."""
     start = time.perf_counter()
     yield
+    # ru_maxrss is kilobytes on Linux; the high-water mark is monotone
+    # across the session, so per-test deltas are not meaningful — the
+    # stamp records "peak heap by the time this test finished".
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     bench_records.append({
         "kind": "wallclock",
         "test": request.node.nodeid,
         "elapsed_s": round(time.perf_counter() - start, 6),
+        "heap_peak_bytes": peak_kb * 1024,
     })
 
 

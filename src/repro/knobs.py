@@ -32,6 +32,7 @@ KNOWN_KNOBS: dict[str, str] = {
     "REPRO_SCALE": "experiments CLI dataset scale factor",
     "REPRO_BATCH_SIZE": "vectorized batch size (0 = tuple-at-a-time)",
     "REPRO_VECTOR_FALLBACK": "count batch-kernel scalar fallbacks",
+    "REPRO_ENCODE": "encoded columnar execution (default on)",
     "REPRO_CODEGEN": "enable fused-kernel query compilation",
     "REPRO_CODEGEN_DUMP": "directory to dump generated kernel source",
     "REPRO_WORKERS": "shard-pool worker count (0 disables)",

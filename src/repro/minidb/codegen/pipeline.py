@@ -47,7 +47,8 @@ from repro.minidb.plan.physical import (
 )
 from repro.minidb.plan.shard import _SPINE_CHILD
 from repro.minidb.types import sql_and, sql_or
-from repro.minidb.vector import RowBatch, configured_batch_size
+from repro.minidb.vector import (RowBatch, configured_batch_size,
+                                 decode_batch)
 
 __all__ = ["CompiledSpineOp", "FAULT_ENV", "apply_codegen"]
 
@@ -547,8 +548,12 @@ class CompiledSpineOp(PhysicalNode):
         if self.join is not None:
             tables.append(_build_hash_table(self.join, size))
         self.kernel_runs += 1
-        yield from self.kernel(self.source.batches(size), self.fused,
-                               tables)
+        # Maximal fallback at the encoding boundary: generated kernels
+        # index columns positionally and re-emit them wholesale, so an
+        # encoded scan is decoded to plain lists before it reaches the
+        # kernel — compiled results stay byte-identical to interpreted.
+        source = map(decode_batch, self.source.batches(size))
+        yield from self.kernel(source, self.fused, tables)
 
     def label(self) -> str:
         return (f"CompiledSpine[{len(self.fused)} ops, "

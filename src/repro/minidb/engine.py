@@ -28,6 +28,7 @@ from repro.minidb.plan.logical import LogicalNode
 from repro.minidb.plan.physical import FilterOp, PhysicalNode, SortOp
 from repro.minidb.plan.shard import ExchangeOp
 from repro.minidb.plan.window import WindowOp
+from repro.minidb import vector
 from repro.minidb.vector import materialize
 from repro.minidb.result import ResultSet
 from repro.minidb.schema import Column, TableSchema
@@ -122,6 +123,14 @@ class ExecutionMetrics:
     codegen_cache_hits: int = 0
     codegen_cache_misses: int = 0
     compile_ms: float = 0.0
+    #: Encoded-execution activity for the call that produced these
+    #: metrics (filled in by ``execute_with_metrics``): encoded columns
+    #: served by scans, full decodes back to plain lists (fallback
+    #: boundaries), and heap-page bytes avoided by the dictionary page
+    #: codec for writes issued during the call.
+    encoded_columns: int = 0
+    decode_fallbacks: int = 0
+    bytes_saved: int = 0
 
     @property
     def selection_density(self) -> float | None:
@@ -246,13 +255,17 @@ class Database:
                  buffer_pages: int | None = None,
                  page_size: int | None = None,
                  group_commit: object | None = None,
-                 readahead: int | None = None) -> None:
+                 readahead: int | None = None,
+                 encode: bool | None = None) -> None:
         # Attributes __del__/__exit__ touch are assigned before anything
         # that can raise, so shutdown() is safe after a failed __init__.
         self.storage = None
         self._shard_pool: parallel.ShardWorkerPool | None = None
         self._storage_closed = False
         knobs.validate_environment()
+        #: Per-database override for encoded columnar execution;
+        #: None defers to REPRO_ENCODE (default on).
+        self.encode = encode
         mode = storage or os.environ.get("REPRO_STORAGE", "memory")
         if mode not in ("memory", "disk"):
             raise ValueError(
@@ -264,10 +277,14 @@ class Database:
                                        buffer_pages=buffer_pages,
                                        page_size=page_size,
                                        group_commit=group_commit,
-                                       readahead=readahead)
+                                       readahead=readahead,
+                                       encode=encode)
         self.catalog = Catalog(self.storage)
         if self.storage is not None:
             self.storage.open(self.catalog)
+        if encode is not None:
+            for table in self.catalog:
+                table.encode = encode
         self.stats = StatsRepository()
         self.cost_model = CostModel()
         self.options = options or PlannerOptions()
@@ -318,6 +335,12 @@ class Database:
         if self.storage is not None:
             self.storage.checkpoint()
 
+    def _encode_resolved(self) -> bool:
+        """Effective encoded-execution setting (kwarg over knob)."""
+        if self.encode is None:
+            return vector.encode_enabled()
+        return bool(self.encode)
+
     def snapshot(self, *, plan_cache: PreparedPlanCache | None = None):
         """Pin a consistent MVCC read view over every table.
 
@@ -346,7 +369,8 @@ class Database:
                 tuple(table.version for table in self.catalog),
                 parallel.configured_worker_count(),
                 shard.SHARD_ROW_THRESHOLD,
-                codegen_enabled())
+                codegen_enabled(),
+                self._encode_resolved())
 
     def shard_pool(self) -> "parallel.ShardWorkerPool | None":
         """The persistent worker pool, spawning or respawning as needed.
@@ -379,7 +403,10 @@ class Database:
 
     def create_table(self, name: str, schema: TableSchema) -> Table:
         """Create an empty table."""
-        return self.catalog.create_table(name, schema)
+        table = self.catalog.create_table(name, schema)
+        if self.encode is not None:
+            table.encode = self.encode
+        return table
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
@@ -476,7 +503,8 @@ class Database:
                 tuple(sorted(vars(options).items())),
                 parallel.configured_worker_count(),
                 shard.SHARD_ROW_THRESHOLD,
-                codegen_enabled())
+                codegen_enabled(),
+                self._encode_resolved())
 
     def _arm_exchanges(self, plan: PhysicalNode, logical: LogicalNode,
                        options: PlannerOptions) -> None:
@@ -647,6 +675,7 @@ class Database:
         spawns_before = self.pool_spawns
         reuses_before = self.pool_reuses
         codegen_before = cache_stats()
+        encode_before = vector.encode_stats()
         storage_before = (self.storage.counters
                           if self.storage is not None else None)
         plan = self.plan(query, options)
@@ -661,6 +690,10 @@ class Database:
         metrics.codegen_cache_hits = codegen_after[0] - codegen_before[0]
         metrics.codegen_cache_misses = codegen_after[1] - codegen_before[1]
         metrics.compile_ms = codegen_after[2] - codegen_before[2]
+        encode_after = vector.encode_stats()
+        metrics.encoded_columns = encode_after[0] - encode_before[0]
+        metrics.decode_fallbacks = encode_after[1] - encode_before[1]
+        metrics.bytes_saved = encode_after[2] - encode_before[2]
         if storage_before is not None:
             storage_after = self.storage.counters
             for name in ("pages_read", "pages_written", "pages_evicted",

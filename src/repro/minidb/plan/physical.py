@@ -45,9 +45,14 @@ from repro.minidb.table import Table
 from repro.minidb.types import sort_key_column
 from repro.minidb.vector import (
     DEFAULT_BATCH_SIZE,
+    ENCODED_TYPES,
+    DictColumn,
+    RLEColumn,
     RowBatch,
     batch_execution_enabled,
+    concat_columns,
     configured_batch_size,
+    record_encoded_columns,
 )
 
 __all__ = [
@@ -323,7 +328,11 @@ class SeqScan(PhysicalNode):
         if self.visible_rows is not None:
             yield from self._frozen_batches(size)
             return
-        columns = self.table.columnar()
+        columns = self.table.encoded_columnar()
+        encoded = sum(1 for column in columns
+                      if isinstance(column, ENCODED_TYPES))
+        if encoded:
+            record_encoded_columns(encoded)
         bound = self.visible_count
         if self.shard is not None:
             yield from self._shard_batches(columns, size, bound)
@@ -397,7 +406,9 @@ class SeqScan(PhysicalNode):
             chunk = selected[lo:lo + size]
             self.actual_rows += len(chunk)
             self.actual_batches += 1
-            yield RowBatch([[column[i] for i in chunk]
+            yield RowBatch([column.take(chunk)
+                            if isinstance(column, ENCODED_TYPES)
+                            else [column[i] for i in chunk]
                             for column in columns], len(chunk))
 
     def label(self) -> str:
@@ -530,11 +541,47 @@ class FilterOp(PhysicalNode):
         for batch in self.child.batches(size):
             self.input_rows += batch.length
             values = batch_bound(batch)
-            selected = [i for i, value in enumerate(values) if value is True]
+            if isinstance(values, RLEColumn):
+                # Run-wise selection: rejected runs are skipped without
+                # inspecting a single row, surviving runs pass through
+                # as contiguous slices of the input batch.
+                yield from self._run_batches(batch, values)
+                continue
+            if isinstance(values, DictColumn):
+                # One truth test per distinct value, then a code lookup
+                # per row instead of an identity check per row.
+                truth = [value is True for value in values.values]
+                selected = [i for i, code in enumerate(values.codes)
+                            if truth[code]]
+            else:
+                selected = [i for i, value in enumerate(values)
+                            if value is True]
             if not selected:
                 continue
             out = batch if len(selected) == batch.length \
                 else batch.take(selected)
+            self.actual_rows += out.length
+            self.actual_batches += 1
+            yield out
+
+    def _run_batches(self, batch: RowBatch,
+                     values: RLEColumn) -> Iterator[RowBatch]:
+        spans: list[list[int]] = []
+        for start, length, value in values.runs():
+            if value is not True:
+                continue
+            if spans and spans[-1][1] == start:
+                spans[-1][1] = start + length
+            else:
+                spans.append([start, start + length])
+        if len(spans) == 1 and spans[0][0] == 0 \
+                and spans[0][1] == batch.length:
+            self.actual_rows += batch.length
+            self.actual_batches += 1
+            yield batch
+            return
+        for lo, hi in spans:
+            out = batch.slice(lo, hi)
             self.actual_rows += out.length
             self.actual_batches += 1
             yield out
@@ -727,10 +774,25 @@ class HashJoinOp(PhysicalNode):
                                             self._left_keys)
             out: list[tuple] = []
             if single:
-                for i, part in enumerate(key_columns[0]):
+                key_column = key_columns[0]
+                if isinstance(key_column, DictColumn):
+                    # Probe the hash table once per distinct key value,
+                    # then walk codes: per row it's one list index, not
+                    # a hash probe. NULL (code 0) maps to no matches.
+                    buckets = [() if value is None
+                               else table.get((value,), ())
+                               for value in key_column.values]
+                    per_row = key_column.codes
+                else:
+                    buckets = None
+                    per_row = key_column
+                for i, part in enumerate(per_row):
                     matched = False
-                    if part is not None:
-                        for right_row in table.get((part,), ()):
+                    candidates = buckets[part] if buckets is not None \
+                        else (table.get((part,), ())
+                              if part is not None else ())
+                    if candidates:
+                        for right_row in candidates:
                             joined = left_rows[i] + right_row
                             if residual is not None \
                                     and residual(joined) is not True:
@@ -935,11 +997,17 @@ class SortOp(PhysicalNode):
             order.sort(key=keyed.__getitem__, reverse=not ascending)
         return order
 
-    def _sorted_rows(self, buffered: list[tuple]) -> list[tuple]:
+    def _sorted_rows(self, buffered: list[tuple],
+                     collected: list[RowBatch] | None = None) -> list[tuple]:
         if not buffered:
             return buffered
         if self._batch_keys is not None:
-            big = RowBatch.from_rows(buffered, len(self.schema))
+            if collected:
+                # Column-wise concat keeps dictionary codes intact, so
+                # sorted-dictionary keys sort by raw integer codes.
+                big = concat_columns(collected, len(self.schema))
+            else:
+                big = RowBatch.from_rows(buffered, len(self.schema))
             decorated = [sort_key_column(batch_key(big))
                          for batch_key in self._batch_keys]
         else:
@@ -963,10 +1031,12 @@ class SortOp(PhysicalNode):
     def batches(self, size: int | None = None) -> Iterator[RowBatch]:
         size = _resolve_batch_size(size)
         buffered: list[tuple] = []
+        collected: list[RowBatch] = []
         for batch in self.child.batches(size):
+            collected.append(batch)
             buffered.extend(batch.rows())
         self.sorted_rows = len(buffered)
-        buffered = self._sorted_rows(buffered)
+        buffered = self._sorted_rows(buffered, collected)
         width = len(self.schema)
         for lo in range(0, len(buffered), size):
             chunk = buffered[lo:lo + size]

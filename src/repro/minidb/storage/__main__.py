@@ -5,6 +5,11 @@ file, and the WAL — without opening (and therefore without recovering)
 the database, so it is safe to point at a directory left behind by a
 crash. Reported numbers describe the last durable checkpoint; a
 non-empty WAL means recovery would replay on top of them.
+
+Per table, the report includes the heap *footprint*: bytes as stored
+(dictionary-coded pages count at their compressed size) versus the bytes
+the same rows would occupy row-major, plus the resulting compression
+ratio — the observable effect of the ``REPRO_ENCODE`` knob on disk.
 """
 
 from __future__ import annotations
@@ -12,6 +17,14 @@ from __future__ import annotations
 import json
 import os
 import sys
+
+from repro.minidb.storage.page import (
+    KIND_HEAP_DICT,
+    SLOT_SIZE,
+    cells_size,
+    decode_page,
+)
+from repro.minidb.storage.serde import encode_row
 
 _USAGE = "usage: python -m repro.minidb.storage stat <database-dir>"
 
@@ -21,6 +34,43 @@ def _file_size(path: str) -> int:
         return os.path.getsize(path)
     except OSError:
         return 0
+
+
+def _heap_footprint(pages_path: str, page_size: int,
+                    heap_pages: list) -> tuple[int, int, int]:
+    """``(stored_bytes, plain_bytes, dict_pages)`` for one table's heap.
+
+    ``stored`` is what the cells occupy on disk today; ``plain`` is what
+    the same rows would occupy in the row-major ``KIND_HEAP`` layout.
+    Unreadable pages (torn tail after a crash) are skipped — the report
+    must stay safe on a directory the engine never recovered.
+    """
+    from repro.minidb.storage.heap import HeapPageNode
+
+    stored = 0
+    plain = 0
+    dict_pages = 0
+    try:
+        handle = open(pages_path, "rb")
+    except OSError:
+        return 0, 0, 0
+    with handle:
+        for page_id, _count in heap_pages:
+            handle.seek(page_id * page_size)
+            data = handle.read(page_size)
+            try:
+                kind, cells = decode_page(data)
+            except Exception:
+                continue
+            stored += cells_size(cells)
+            if kind == KIND_HEAP_DICT:
+                dict_pages += 1
+                rows = HeapPageNode.from_dict_cells(cells).rows
+                plain += sum(len(encode_row(row)) + SLOT_SIZE
+                             for row in rows)
+            else:
+                plain += cells_size(cells)
+    return stored, plain, dict_pages
 
 
 def stat(directory: str) -> str:
@@ -48,15 +98,23 @@ def stat(directory: str) -> str:
     lines.append(f"wal.log: {wal_size} bytes"
                  + (" (recovery would replay)" if wal_size else ""))
     live = 0
+    pages_path = os.path.join(directory, "data.pages")
     for name, entry in sorted(manifest.get("tables", {}).items()):
-        heap = len(entry.get("heap_pages", []))
+        heap_pages = entry.get("heap_pages", [])
+        heap = len(heap_pages)
         index_pages = sum(len(spec.get("pages", []))
                           for spec in entry.get("indexes", {}).values())
         live += heap + index_pages
-        rows = sum(count for _, count in entry.get("heap_pages", []))
+        rows = sum(count for _, count in heap_pages)
         lines.append(f"table {name}: {rows} rows, {heap} heap pages, "
                      f"{len(entry.get('indexes', {}))} indexes "
                      f"({index_pages} pages)")
+        stored, plain, dict_pages = _heap_footprint(
+            pages_path, page_size, heap_pages)
+        ratio = f"{stored / plain:.2f}" if plain else "1.00"
+        lines.append(f"table {name} footprint: {stored} bytes stored "
+                     f"({dict_pages} dict pages), {plain} bytes plain, "
+                     f"ratio {ratio}")
     coverage = f"{len(zones)}/{live}" if live else "0/0"
     lines.append(f"zone maps: {coverage} live pages covered")
     return "\n".join(lines)

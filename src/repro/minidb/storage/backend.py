@@ -47,6 +47,7 @@ from repro.minidb.storage.page import (
     KIND_BTREE_INNER,
     KIND_BTREE_LEAF,
     KIND_HEAP,
+    KIND_HEAP_DICT,
     configured_page_size,
 )
 from repro.minidb.storage.pager import Pager, configured_buffer_pages
@@ -79,6 +80,8 @@ def configured_checkpoint_bytes() -> int:
 def _decode_node(kind: int, cells: list[bytes]):
     if kind == KIND_HEAP:
         return HeapPageNode.from_cells(cells)
+    if kind == KIND_HEAP_DICT:
+        return HeapPageNode.from_dict_cells(cells)
     if kind == KIND_BTREE_LEAF:
         return LeafNode.from_cells(cells)
     if kind == KIND_BTREE_INNER:
@@ -100,7 +103,8 @@ class DiskStorage:
                  page_size: int | None = None, sync: bool = True,
                  checkpoint_bytes: int | None = None,
                  group_commit: object | None = None,
-                 readahead: int | None = None) -> None:
+                 readahead: int | None = None,
+                 encode: bool | None = None) -> None:
         # Assigned before anything that can raise, so close() on a
         # partially constructed instance (a failed __init__ reached via
         # Database.__exit__/__del__) has a consistent base state.
@@ -113,6 +117,9 @@ class DiskStorage:
         self.path = path or tempfile.mkdtemp(prefix="minidb-")
         os.makedirs(self.path, exist_ok=True)
         self.sync = sync
+        #: Per-storage override for the dictionary page codec; None
+        #: defers to REPRO_ENCODE at page-construction time.
+        self.encode = encode
         self.checkpoint_bytes = (checkpoint_bytes
                                  if checkpoint_bytes is not None
                                  else configured_checkpoint_bytes())

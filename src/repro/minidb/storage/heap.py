@@ -14,6 +14,18 @@ page is mutated copy-on-write — if the current manifest references it,
 the first append after a checkpoint clones it to a fresh page id, so a
 torn flush can never damage checkpointed state.
 
+Heap pages come in two wire formats. ``KIND_HEAP`` stores one serialized
+row per cell. When encoding is on (``REPRO_ENCODE``, see
+:mod:`repro.minidb.vector`) a page tracks a second, column-major layout
+as rows are added: per column, a dictionary of distinct values plus one
+varint code per row. At flush time :meth:`HeapPageNode.encode_cells`
+emits whichever layout is smaller — ``KIND_HEAP_DICT`` pages hold a
+header cell (row/column counts + per-column layout flags) followed by
+one cell per column, each independently dictionary-coded or plain.
+Both layouts decode to the identical row tuples; the choice is purely a
+size optimization, and ``nbytes`` (the fill limit) is the *minimum* of
+the two layouts, so low-cardinality tables pack more rows per page.
+
 Reads go through the buffer pool one page at a time; iterating a table
 ten times the pool size keeps peak residency at the pool bound.
 
@@ -31,45 +43,232 @@ import os
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
-from repro.minidb.storage.page import KIND_HEAP, SLOT_SIZE, cell_capacity
-from repro.minidb.storage.serde import decode_row, encode_row
+from repro.minidb.storage.page import (
+    KIND_HEAP,
+    KIND_HEAP_DICT,
+    SLOT_SIZE,
+    cell_capacity,
+)
+from repro.minidb.storage.serde import (
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+    read_varint,
+    varint_length,
+    write_varint,
+)
 from repro.minidb.storage.zones import heap_zone, page_qualifies
+from repro.minidb.vector import encode_enabled, record_bytes_saved
 
 __all__ = ["DiskRowStore", "HeapPageNode"]
 
 _FAULT_ENV = "REPRO_FUZZ_INJECT_BUG"
+
+#: Capacity bound used when replaying already-placed rows in
+#: ``HeapPageNode.__init__`` — placement was decided by the writer.
+_NO_LIMIT = float("inf")
 
 
 def _storage_fault_active() -> bool:
     return os.environ.get(_FAULT_ENV, "") == "storage"
 
 
+def _apply_storage_fault(rows: list[tuple]) -> None:
+    """Injected bug: perturb the first integer of the page's last row
+    on decode. Invisible while the page stays cached; wrong the moment
+    it is evicted and re-read."""
+    last = list(rows[-1])
+    for i, value in enumerate(last):
+        if isinstance(value, int) and not isinstance(value, bool):
+            last[i] = value + 1
+            rows[-1] = tuple(last)
+            break
+
+
+class _ColumnDict:
+    """Incremental dictionary state for one column of a heap page.
+
+    Tracks both layouts' byte costs as rows arrive so the page can
+    answer "would one more row fit?" without re-encoding anything:
+    ``plain`` is the tagged-value bytes of every row, and the dictionary
+    layout costs ``varint(ndv) + value_bytes + code_bytes``.
+    """
+
+    __slots__ = ("index", "values", "codes", "value_bytes", "code_bytes",
+                 "plain")
+
+    def __init__(self) -> None:
+        #: tagged-bytes -> code. Keying on the exact encoding keeps
+        #: ``True``/``1``/``1.0`` and ``0.0``/``-0.0`` distinct, so a
+        #: dictionary round trip is byte-identical by construction.
+        self.index: dict[bytes, int] = {}
+        self.values: list[Any] = []
+        self.codes: list[int] = []
+        self.value_bytes = 0
+        self.code_bytes = 0
+        self.plain = 0
+
+    def dict_size(self) -> int:
+        return (varint_length(len(self.values)) + self.value_bytes
+                + self.code_bytes)
+
+
 class HeapPageNode:
-    """Decoded heap page: a run of row tuples plus its encoded size."""
+    """Decoded heap page: a run of row tuples plus its encoded size.
 
-    __slots__ = ("rows", "nbytes")
+    When *encode* resolves true the node maintains per-column dictionary
+    state alongside the rows, and ``nbytes`` is the smaller of the
+    row-major and column-major encodings (the layout actually emitted by
+    :meth:`encode_cells`). The decision is frozen at construction so a
+    knob flip mid-run can never make an already-filled page overflow.
+    """
 
-    def __init__(self, rows: list[tuple]) -> None:
-        self.rows = rows
-        self.nbytes = sum(len(encode_row(row)) + SLOT_SIZE for row in rows)
+    __slots__ = ("rows", "nbytes", "encode", "_plain_bytes", "_cols")
+
+    def __init__(self, rows: list[tuple],
+                 encode: bool | None = None) -> None:
+        self.rows: list[tuple] = []
+        self.encode = encode_enabled() if encode is None else bool(encode)
+        self.nbytes = 0
+        self._plain_bytes = 0
+        self._cols: list[_ColumnDict] | None = None
+        for row in rows:
+            self.try_add(row, _NO_LIMIT)
+
+    def try_add(self, row: tuple, capacity: float) -> bool:
+        """Add *row* if the page still fits in *capacity* bytes.
+
+        Simulates both layouts' sizes first and commits only on success,
+        so a rejected row leaves the dictionary state untouched.
+        """
+        plain = self._plain_bytes + len(encode_row(row)) + SLOT_SIZE
+        if not self.encode:
+            if plain > capacity:
+                return False
+            self.rows.append(row)
+            self._plain_bytes = plain
+            self.nbytes = plain
+            return True
+        cols = self._cols
+        if cols is None:
+            cols = [_ColumnDict() for _ in row]
+        # header cell: varint(nrows) + varint(ncols) + one flag byte
+        # per column.
+        dict_total = (varint_length(len(self.rows) + 1)
+                      + varint_length(len(cols)) + len(cols) + SLOT_SIZE)
+        staged = []
+        for col, value in zip(cols, row):
+            scratch = bytearray()
+            encode_value(scratch, value)
+            key = bytes(scratch)
+            code = col.index.get(key)
+            fresh = code is None
+            if fresh:
+                code = len(col.values)
+                value_bytes = col.value_bytes + len(key)
+            else:
+                value_bytes = col.value_bytes
+            code_bytes = col.code_bytes + varint_length(code)
+            col_plain = col.plain + len(key)
+            ndv = len(col.values) + (1 if fresh else 0)
+            dict_size = varint_length(ndv) + value_bytes + code_bytes
+            dict_total += min(col_plain, dict_size) + SLOT_SIZE
+            staged.append((col, value, key, code, fresh, value_bytes,
+                           code_bytes, col_plain))
+        nbytes = min(plain, dict_total)
+        if nbytes > capacity:
+            return False
+        for (col, value, key, code, fresh, value_bytes, code_bytes,
+             col_plain) in staged:
+            if fresh:
+                col.index[key] = code
+                col.values.append(value)
+            col.codes.append(code)
+            col.value_bytes = value_bytes
+            col.code_bytes = code_bytes
+            col.plain = col_plain
+        self._cols = cols
+        self.rows.append(row)
+        self._plain_bytes = plain
+        self.nbytes = nbytes
+        return True
 
     def encode_cells(self) -> tuple[int, list[bytes]]:
+        if (self.encode and self._cols is not None
+                and self.nbytes < self._plain_bytes):
+            record_bytes_saved(self._plain_bytes - self.nbytes)
+            return KIND_HEAP_DICT, self._dict_cells()
         return KIND_HEAP, [encode_row(row) for row in self.rows]
+
+    def _dict_cells(self) -> list[bytes]:
+        cols = self._cols
+        header = bytearray()
+        write_varint(header, len(self.rows))
+        write_varint(header, len(cols))
+        cells = [b""]
+        for position, col in enumerate(cols):
+            if col.dict_size() < col.plain:
+                header.append(1)
+                cell = bytearray()
+                write_varint(cell, len(col.values))
+                for value in col.values:
+                    encode_value(cell, value)
+                for code in col.codes:
+                    write_varint(cell, code)
+            else:
+                header.append(0)
+                cell = bytearray()
+                for row in self.rows:
+                    encode_value(cell, row[position])
+            cells.append(bytes(cell))
+        cells[0] = bytes(header)
+        return cells
 
     @classmethod
     def from_cells(cls, cells: list[bytes]) -> "HeapPageNode":
         rows = [decode_row(cell) for cell in cells]
         if rows and _storage_fault_active():
-            # Injected bug: perturb the first integer of the page's last
-            # row on decode. Invisible while the page stays cached;
-            # wrong the moment it is evicted and re-read.
-            last = list(rows[-1])
-            for i, value in enumerate(last):
-                if isinstance(value, int) and not isinstance(value, bool):
-                    last[i] = value + 1
-                    rows[-1] = tuple(last)
-                    break
+            _apply_storage_fault(rows)
         return cls(rows)
+
+    @classmethod
+    def from_dict_cells(cls, cells: list[bytes]) -> "HeapPageNode":
+        """Decode a ``KIND_HEAP_DICT`` page back into row tuples.
+
+        The node is rebuilt with ``encode=True`` regardless of the
+        current knob: the page was sized under the column-major layout,
+        and re-freezing that choice keeps a knob flip from overflowing
+        it on the next top-up.
+        """
+        header = cells[0]
+        nrows, offset = read_varint(header, 0)
+        ncols, offset = read_varint(header, offset)
+        flags = header[offset:offset + ncols]
+        columns: list[list[Any]] = []
+        for position in range(ncols):
+            cell = cells[1 + position]
+            out: list[Any] = []
+            if flags[position]:
+                ndv, at = read_varint(cell, 0)
+                values: list[Any] = []
+                for _ in range(ndv):
+                    value, at = decode_value(cell, at)
+                    values.append(value)
+                for _ in range(nrows):
+                    code, at = read_varint(cell, at)
+                    out.append(values[code])
+            else:
+                at = 0
+                for _ in range(nrows):
+                    value, at = decode_value(cell, at)
+                    out.append(value)
+            columns.append(out)
+        rows = [tuple(column[i] for column in columns)
+                for i in range(nrows)]
+        if rows and _storage_fault_active():
+            _apply_storage_fault(rows)
+        return cls(rows, encode=True)
 
 
 class DiskRowStore:
@@ -223,7 +422,7 @@ class DiskRowStore:
                 self.total += added
                 self._update_zone(page_id, node)
         while cursor < len(rows):
-            node = HeapPageNode([])
+            node = HeapPageNode([], encode=self.storage.encode)
             before = cursor
             cursor = self._fill(node, rows, cursor, capacity)
             if cursor == before:
@@ -242,11 +441,8 @@ class DiskRowStore:
     def _fill(node: HeapPageNode, rows: list[tuple], cursor: int,
               capacity: int) -> int:
         while cursor < len(rows):
-            size = len(encode_row(rows[cursor])) + SLOT_SIZE
-            if node.nbytes + size > capacity:
+            if not node.try_add(rows[cursor], capacity):
                 break  # full (or a single row larger than a page)
-            node.rows.append(rows[cursor])
-            node.nbytes += size
             cursor += 1
         return cursor
 
@@ -255,7 +451,7 @@ class DiskRowStore:
         if not self.storage.page_shadowed(page_id):
             self.storage.pager.mark_dirty(page_id)
             return page_id, node
-        clone = HeapPageNode(list(node.rows))
+        clone = HeapPageNode(list(node.rows), encode=node.encode)
         new_id = self.storage.allocate_page()
         self.storage.pager.adopt(new_id, clone)
         self.storage.free_page(page_id)

@@ -43,6 +43,7 @@ __all__ = [
     "KIND_BTREE_INNER",
     "KIND_BTREE_LEAF",
     "KIND_HEAP",
+    "KIND_HEAP_DICT",
     "SLOT_SIZE",
     "cell_capacity",
     "configured_page_size",
@@ -61,6 +62,10 @@ SLOT_SIZE = 4
 KIND_HEAP = 1
 KIND_BTREE_LEAF = 2
 KIND_BTREE_INNER = 3
+#: Column-major heap page: header cell (row/column counts + per-column
+#: layout flags) followed by one cell per column, each either a
+#: dictionary (distinct values + per-row codes) or plain tagged values.
+KIND_HEAP_DICT = 4
 
 _MAGIC = b"MP"
 _HEADER = struct.Struct(">2sBBHHI")

@@ -37,6 +37,7 @@ __all__ = [
     "encode_value",
     "encoded_length",
     "read_varint",
+    "varint_length",
     "write_varint",
 ]
 
@@ -145,6 +146,15 @@ def encoded_length(value: Any) -> int:
     scratch = bytearray()
     encode_value(scratch, value)
     return len(scratch)
+
+
+def varint_length(value: int) -> int:
+    """Byte length :func:`write_varint` would produce for *value*."""
+    length = 1
+    while value >= 0x80:
+        value >>= 7
+        length += 1
+    return length
 
 
 def encode_row(row: Sequence[Any]) -> bytes:

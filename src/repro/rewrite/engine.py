@@ -42,7 +42,7 @@ from repro.minidb.plan.physical import PhysicalNode
 from repro.minidb.result import ResultSet
 from repro.minidb.sqlparse import parse_select
 from repro.minidb.sqlparse.ast import SelectStmt, TableName
-from repro.minidb.vector import materialize
+from repro.minidb.vector import encode_stats, materialize
 from repro.rewrite.cache import CacheOptions, CleansingRegionCache, RegionEntry
 from repro.rewrite.context import QueryContext, extract_context
 from repro.rewrite.expanded import ExpandedAnalysis, analyze_expanded
@@ -236,6 +236,7 @@ class DeferredCleansingEngine:
         spawns = self.database.pool_spawns
         reuses = self.database.pool_reuses
         codegen_before = cache_stats()
+        encode_before = encode_stats()
         cache = self.region_cache
         patches = cache.patches if cache is not None else 0
         recleaned = cache.sequences_recleaned if cache is not None else 0
@@ -250,6 +251,10 @@ class DeferredCleansingEngine:
         metrics.codegen_cache_hits = codegen_after[0] - codegen_before[0]
         metrics.codegen_cache_misses = codegen_after[1] - codegen_before[1]
         metrics.compile_ms = codegen_after[2] - codegen_before[2]
+        encode_after = encode_stats()
+        metrics.encoded_columns = encode_after[0] - encode_before[0]
+        metrics.decode_fallbacks = encode_after[1] - encode_before[1]
+        metrics.bytes_saved = encode_after[2] - encode_before[2]
         if cache is not None:
             metrics.cache_patches = cache.patches - patches
             metrics.sequences_recleaned = \

@@ -1,0 +1,45 @@
+"""Auto-generated fuzz regression (do not edit by hand).
+
+Found by: python -m repro.fuzz --seed 0 (iteration 0)
+Diverged: encoded
+Shrunk to 1 rows / 1 rules / 0 query conjuncts.
+
+Reproduce interactively:
+
+    from repro.fuzz.oracle import run_case
+    import test_shrunk_seed0_iter0 as m
+    print(run_case(m._case()).summary())
+"""
+
+from repro.fuzz.cases import DimensionSpec, FuzzCase, QuerySpec
+from repro.fuzz.oracle import run_case
+
+READS_ROWS = [
+    ('urn:epc:id:sgtin:c.0000000000000000000000000000001', 980922699, 'reader_0000040000010', '0000040000010', 'step_003'),
+]
+
+RULES = [
+    "DEFINE fuzz_rule_0 ON caser CLUSTER BY epc SEQUENCE BY rtime\nAS (A, B)\nWHERE b.reader = 'reader_0000020000000'\nACTION DELETE A",
+]
+
+QUERY = QuerySpec(
+    conjuncts=[],
+    dimensions=[
+        DimensionSpec(name='locs', alias='l',
+                      fact_key='biz_loc', dim_key='gln',
+                      predicate="l.site = 'store 1'",
+                      rows=[('0000000000000', 'distribution center 0', 'distribution center 0 / bay 0'), ('0000000000010', 'distribution center 0', 'distribution center 0 / bay 1'), ('0000000000020', 'distribution center 0', 'distribution center 0 / bay 2'), ('0000010000000', 'distribution center 1', 'distribution center 1 / bay 0'), ('0000010000010', 'distribution center 1', 'distribution center 1 / bay 1'), ('0000010000020', 'distribution center 1', 'distribution center 1 / bay 2'), ('0000020000000', 'warehouse 0', 'warehouse 0 / bay 0'), ('0000020000010', 'warehouse 0', 'warehouse 0 / bay 1'), ('0000020000020', 'warehouse 0', 'warehouse 0 / bay 2'), ('0000030000000', 'warehouse 1', 'warehouse 1 / bay 0'), ('0000030000010', 'warehouse 1', 'warehouse 1 / bay 1'), ('0000030000020', 'warehouse 1', 'warehouse 1 / bay 2'), ('0000040000000', 'store 0', 'store 0 / bay 0'), ('0000040000010', 'store 0', 'store 0 / bay 1'), ('0000040000020', 'store 0', 'store 0 / bay 2'), ('0000050000000', 'store 1', 'store 1 / bay 0'), ('0000050000010', 'store 1', 'store 1 / bay 1'), ('0000050000020', 'store 1', 'store 1 / bay 2'), ('0000060000000', 'store 2', 'store 2 / bay 0'), ('0000060000010', 'store 2', 'store 2 / bay 1'), ('0000060000020', 'store 2', 'store 2 / bay 2')],
+                      schema=(('gln', 'varchar'), ('site', 'varchar'), ('loc_desc', 'varchar'))),
+    ],
+)
+
+
+def _case() -> FuzzCase:
+    return FuzzCase(seed=0, iteration=0,
+                    reads_rows=list(READS_ROWS), rules=list(RULES),
+                    query=QUERY)
+
+
+def test_shrunk_seed0_iter0() -> None:
+    report = run_case(_case())
+    assert report.ok, report.summary()
